@@ -1,0 +1,51 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+Two knobs of the Venn scheduler that are not separate figures in the paper
+but are worth quantifying in this reproduction:
+
+* the inter-group reallocation phase of Algorithm 1 (lines 10-23), and
+* the intra-group demand metric (current-round demand vs total remaining
+  demand, §4.2.1).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments.endtoend import run_policies
+from repro.experiments.environment import build_environment
+
+
+def _run_variants(config):
+    env = build_environment(config)
+    variants = {
+        "venn (full)": {},
+        "venn w/o inter-group reallocation": {"enable_reallocation": False},
+        "venn round-demand ordering": {"demand_mode": "round"},
+    }
+    results = {"random": run_policies(env, ("random",))["random"]}
+    for label, kwargs in variants.items():
+        results[label] = run_policies(env, ("venn",), policy_kwargs={"venn": kwargs})[
+            "venn"
+        ]
+    base = results["random"].average_jct
+    return {
+        label: base / max(m.average_jct, 1e-9)
+        for label, m in results.items()
+        if label != "random"
+    }
+
+
+def test_design_choice_ablation(benchmark, bench_config):
+    speedups = run_once(benchmark, _run_variants, bench_config)
+    print()
+    print(
+        format_table(
+            ["variant", "speed-up over random"],
+            [[k, v] for k, v in speedups.items()],
+            title="Design-choice ablation — Venn scheduler variants",
+        )
+    )
+    assert all(v > 0 for v in speedups.values())
+    assert speedups["venn (full)"] > 0.9

@@ -1,0 +1,25 @@
+"""Figure 10: scheduler overhead.
+
+The paper reports that one scheduling/matching invocation stays well under a
+millisecond-to-low-milliseconds budget even with 1000 jobs and 100 job
+groups, thanks to the max(O(m log m), O(n^2)) complexity.  This benchmark
+measures exactly that invocation: a full plan rebuild on a loaded scheduler.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import build_loaded_scheduler
+
+
+@pytest.mark.parametrize(
+    "num_jobs,num_groups",
+    [(100, 20), (500, 20), (1000, 20), (500, 100), (1000, 100)],
+)
+def test_figure10_scheduler_overhead(benchmark, num_jobs, num_groups):
+    scheduler = build_loaded_scheduler(num_jobs=num_jobs, num_groups=num_groups)
+    result = benchmark(scheduler.rebuild_plan, 10.0)
+    assert len(result.group_order) == num_groups
+    # One invocation must stay far below one second even at the largest scale.
+    assert benchmark.stats.stats.mean < 1.0

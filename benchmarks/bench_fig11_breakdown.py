@@ -1,0 +1,37 @@
+"""Figure 11: component breakdown of Venn's improvement.
+
+The paper decomposes Venn's gain into the scheduling (Algorithm 1) and
+matching (Algorithm 2) components by evaluating Random, FIFO, Venn without
+scheduling, Venn without matching and full Venn on the Low and High
+workloads.  Matching helps most at low contention; scheduling at high.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.report import format_speedup_table
+from repro.experiments.breakdown import FIGURE11_POLICIES, figure11_component_breakdown
+
+
+def test_figure11_component_breakdown(benchmark, bench_config):
+    table = run_once(
+        benchmark,
+        figure11_component_breakdown,
+        bench_config,
+        scenarios=("low", "high"),
+        policies=FIGURE11_POLICIES,
+    )
+    print()
+    print(
+        format_speedup_table(
+            table,
+            title="Figure 11 — improvement over random per Venn component",
+        )
+    )
+    for scenario, row in table.items():
+        assert row["random"] == 1.0
+        # Full Venn is at least as good as the scheduling-only variant less a
+        # small tolerance (matching never hurts by design).
+        assert row["venn"] >= row["venn_wo_match"] * 0.9
+        assert row["venn"] > 0.9

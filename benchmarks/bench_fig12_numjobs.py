@@ -1,0 +1,34 @@
+"""Figure 12: JCT improvement as the number of concurrent jobs grows.
+
+The paper shows Venn's advantage over random matching widening with the
+number of jobs (25 → 75), since more jobs means more contention.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.report import format_speedup_table
+from repro.experiments.ablation import figure12_num_jobs
+
+
+def test_figure12_impact_of_number_of_jobs(benchmark, bench_config):
+    table = run_once(
+        benchmark,
+        figure12_num_jobs,
+        bench_config,
+        job_counts=(8, 16, 24),
+        policies=("fifo", "srsf", "venn"),
+    )
+    printable = {f"{n} jobs": row for n, row in table.items()}
+    print()
+    print(
+        format_speedup_table(
+            printable,
+            row_label="workload size",
+            title="Figure 12 — improvement over random vs number of jobs",
+        )
+    )
+    assert set(table) == {8, 16, 24}
+    # Venn beats random at the highest contention level.
+    assert table[24]["venn"] > 1.0

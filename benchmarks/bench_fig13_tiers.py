@@ -1,0 +1,34 @@
+"""Figure 13: impact of the number of device tiers on Venn's improvement.
+
+The paper shows gains appearing once 2+ tiers are available to the matching
+algorithm and plateauing as the tier count grows further.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments.ablation import figure13_num_tiers
+
+
+def test_figure13_impact_of_number_of_tiers(benchmark, bench_config):
+    table = run_once(
+        benchmark,
+        figure13_num_tiers,
+        bench_config,
+        tier_counts=(1, 2, 3, 4),
+        scenario="low",
+    )
+    print()
+    print(
+        format_table(
+            ["tiers (V)", "speed-up over random"],
+            [[v, s] for v, s in table.items()],
+            title="Figure 13 — Venn improvement vs number of tiers",
+        )
+    )
+    assert set(table) == {1, 2, 3, 4}
+    assert all(s > 0 for s in table.values())
+    # Multi-tier matching should not be substantially worse than single-tier.
+    assert max(table[2], table[3], table[4]) >= table[1] * 0.85

@@ -1,0 +1,35 @@
+"""Figure 14: the fairness knob ε.
+
+The paper shows that increasing ε trades average-JCT speed-up (14a) for a
+larger fraction of jobs meeting their fair-share JCT (14b); ε = 2 gives 69 %
+of jobs their fair share in the paper's setup.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments.ablation import figure14_fairness_knob
+
+
+def test_figure14_fairness_knob(benchmark, bench_config):
+    table = run_once(
+        benchmark,
+        figure14_fairness_knob,
+        bench_config,
+        epsilons=(0.0, 2.0, 4.0),
+        scenario="even",
+    )
+    print()
+    print(
+        format_table(
+            ["epsilon", "speed-up over random", "jobs meeting fair-share JCT"],
+            [[eps, s, f] for eps, (s, f) in table.items()],
+            title="Figure 14 — fairness knob sweep",
+        )
+    )
+    assert set(table) == {0.0, 2.0, 4.0}
+    for speedup, fairness in table.values():
+        assert speedup > 0
+        assert 0.0 <= fairness <= 1.0

@@ -1,0 +1,81 @@
+"""Figure 2 / Figure 8: trace characterisation benchmarks.
+
+Regenerates the data behind Figure 2a (diurnal device availability),
+Figure 2b (hardware heterogeneity and model eligibility), Figure 8a (the four
+eligibility regions) and Figure 8b (the job demand trace).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments.figures import (
+    figure2a_availability_curve,
+    figure2b_capacity_heterogeneity,
+    figure8a_category_shares,
+    figure8b_job_demand_stats,
+)
+
+
+def test_figure2a_diurnal_availability(benchmark):
+    times, frac = run_once(
+        benchmark, figure2a_availability_curve, num_devices=1000, resolution=1800.0
+    )
+    steady = frac[len(frac) // 4 :]
+    peak, trough = float(steady.max()), float(steady[steady > 0].min())
+    print()
+    print(
+        format_table(
+            ["statistic", "value"],
+            [
+                ["peak online fraction", peak],
+                ["trough online fraction", trough],
+                ["peak / trough swing", peak / max(trough, 1e-9)],
+            ],
+            title="Figure 2a — diurnal device availability (paper: ~2x swing)",
+        )
+    )
+    assert peak > trough
+    assert peak / max(trough, 1e-9) > 1.3
+
+
+def test_figure2b_hardware_heterogeneity(benchmark):
+    shares = run_once(benchmark, figure2b_capacity_heterogeneity, num_devices=2000)
+    print()
+    print(
+        format_table(
+            ["model", "qualified device fraction"],
+            list(shares.items()),
+            title="Figure 2b — devices qualified per on-device model",
+        )
+    )
+    assert shares["mobilenet"] > shares["videosr"]
+
+
+def test_figure8a_eligibility_categories(benchmark):
+    shares = run_once(benchmark, figure8a_category_shares, num_devices=2000)
+    print()
+    print(
+        format_table(
+            ["category", "eligible fraction"],
+            list(shares.items()),
+            title="Figure 8a — device eligibility categories",
+        )
+    )
+    assert shares["general"] == 1.0
+    assert 0.0 < shares["high_performance"] < shares["general"]
+
+
+def test_figure8b_job_demand_trace(benchmark):
+    stats = run_once(benchmark, figure8b_job_demand_stats, num_jobs=400)
+    print()
+    print(
+        format_table(
+            ["statistic", "value"],
+            list(stats.items()),
+            title="Figure 8b — CL job demand trace",
+        )
+    )
+    assert stats["max_rounds"] <= 4000
+    assert stats["max_participants"] <= 1500

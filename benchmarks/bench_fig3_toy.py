@@ -1,0 +1,32 @@
+"""Figure 3: the toy example comparing Random, SRSF, Venn and the optimum.
+
+Paper values: Random 12, SRSF 11, Optimal 9.3 time units; Venn's scheduling
+order attains the optimum on this instance.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments.figures import figure3_toy_example
+
+
+def test_figure3_toy_example(benchmark):
+    toy = run_once(benchmark, figure3_toy_example)
+    print()
+    print(
+        format_table(
+            ["strategy", "average JCT (time units)"],
+            [
+                ["random matching", toy.random_jct],
+                ["SRSF", toy.srsf_jct],
+                ["Venn (Algorithm 1)", toy.venn_jct],
+                ["optimal (ILP, Appendix B)", toy.optimal_jct],
+            ],
+            title="Figure 3 — toy example (paper: random 12, SRSF 11, optimal 9.3)",
+        )
+    )
+    assert toy.optimal_jct <= toy.venn_jct <= toy.srsf_jct
+    assert toy.srsf_jct <= toy.random_jct + 0.5
+    assert abs(toy.venn_jct - toy.optimal_jct) < 1e-6

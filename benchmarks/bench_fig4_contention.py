@@ -1,0 +1,36 @@
+"""Figure 4: impact of resource contention on model accuracy.
+
+Evenly partitioning a fixed client pool across more concurrent jobs shrinks
+each job's participant diversity and degrades its round-to-accuracy curve.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments.accuracy import figure4_contention_accuracy
+
+
+def test_figure4_contention_accuracy(benchmark):
+    curves = run_once(
+        benchmark,
+        figure4_contention_accuracy,
+        job_counts=(1, 5, 10, 20),
+        num_rounds=15,
+        num_clients=200,
+        clients_per_round=20,
+    )
+    print()
+    print(
+        format_table(
+            ["concurrent jobs", "final avg. test accuracy"],
+            [[k, series[-1]] for k, series in sorted(curves.items())],
+            precision=3,
+            title="Figure 4 — accuracy vs number of jobs sharing the pool",
+        )
+    )
+    assert set(curves) == {1, 5, 10, 20}
+    # The single-job (full pool) configuration is at least as accurate as the
+    # most contended one.
+    assert curves[1][-1] >= curves[20][-1] - 0.02

@@ -1,0 +1,37 @@
+"""Figure 5: JCT breakdown (scheduling delay vs response collection time).
+
+Under random matching, the paper shows the scheduling delay growing with the
+number of concurrent jobs until it dominates the response collection time.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments.breakdown import figure5_jct_breakdown
+
+
+def test_figure5_jct_breakdown(benchmark, bench_config):
+    rows = run_once(
+        benchmark,
+        figure5_jct_breakdown,
+        bench_config,
+        job_counts=(8, 16),
+        policy="random",
+    )
+    print()
+    print(
+        format_table(
+            ["contention", "scheduling delay (s)", "response time (s)", "total (s)"],
+            [
+                [f"{n} jobs", r.scheduling_delay, r.response_time, r.total]
+                for n, r in rows.items()
+            ],
+            title="Figure 5 — JCT breakdown under random matching",
+        )
+    )
+    low, high = rows[8], rows[16]
+    assert low.total > 0 and high.total > 0
+    # Contention inflates the scheduling delay more than the response time.
+    assert high.scheduling_delay >= low.scheduling_delay * 0.8

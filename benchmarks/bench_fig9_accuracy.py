@@ -1,0 +1,44 @@
+"""Figure 9: average test accuracy over wall-clock time per policy.
+
+The scheduling policy changes *when* rounds complete, not what is learnt per
+round, so Venn should reach a given accuracy earlier while the final accuracy
+is unchanged across policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.report import format_series
+from repro.experiments.accuracy import (
+    figure9_accuracy_over_time,
+    final_accuracy_by_policy,
+)
+
+
+def test_figure9_accuracy_over_time(benchmark, bench_config):
+    times, curves = run_once(
+        benchmark,
+        figure9_accuracy_over_time,
+        bench_config,
+        policies=("fifo", "srsf", "venn"),
+        num_time_points=13,
+    )
+    print()
+    print(
+        format_series(
+            [t / 3600.0 for t in times],
+            curves,
+            x_label="time (h)",
+            title="Figure 9 — average test accuracy over time",
+        )
+    )
+    finals = final_accuracy_by_policy(curves)
+    assert set(finals) == {"fifo", "srsf", "venn"}
+    values = list(finals.values())
+    # Final accuracy is essentially policy-independent.
+    assert max(values) - min(values) < 0.1
+    # Venn's accuracy is never far behind at any point in time, and its
+    # time-averaged accuracy (a proxy for convergence speed) is competitive.
+    assert np.mean(curves["venn"]) >= np.mean(curves["fifo"]) - 0.05

@@ -1,0 +1,43 @@
+"""Table 2: Venn's JCT improvement restricted to the smallest-demand jobs.
+
+The paper reports that jobs in the lowest total-demand percentiles benefit
+the most from Venn (e.g. 11.5x for the 25th percentile of the Even workload,
+decreasing towards the 75th percentile).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.report import format_speedup_table
+from repro.experiments.endtoend import table2_demand_percentiles
+
+
+def test_table2_speedup_by_total_demand(benchmark, bench_config):
+    table = run_once(
+        benchmark,
+        table2_demand_percentiles,
+        bench_config,
+        scenarios=("even", "low", "high"),
+        percentiles=(25.0, 50.0, 75.0),
+    )
+    printable = {
+        scenario: {f"p{int(p)}": v for p, v in row.items()}
+        for scenario, row in table.items()
+    }
+    print()
+    print(
+        format_speedup_table(
+            printable,
+            title="Table 2 — Venn speed-up by total-demand percentile",
+        )
+    )
+    for scenario, row in table.items():
+        assert row, f"no percentile data for {scenario}"
+        assert all(v > 0 for v in row.values())
+    # Small jobs benefit at least as much as the broader population on the
+    # majority of scenarios (paper: they benefit the most).
+    favourable = sum(
+        1 for row in table.values() if row.get(25.0, 0) >= row.get(75.0, 0) * 0.8
+    )
+    assert favourable >= len(table) / 2

@@ -1,0 +1,45 @@
+"""Table 3: Venn's JCT improvement per device-eligibility category.
+
+The paper reports that jobs asking for scarcer resources (Compute-rich,
+Memory-rich, High-performance) benefit much more from Venn than jobs that can
+use General devices.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.report import format_speedup_table
+from repro.experiments.endtoend import table3_categories
+
+
+def test_table3_speedup_by_category(benchmark, bench_config):
+    table = run_once(
+        benchmark,
+        table3_categories,
+        bench_config,
+        scenarios=("even", "low", "high"),
+    )
+    print()
+    print(
+        format_speedup_table(
+            table,
+            title="Table 3 — Venn speed-up by eligibility category",
+        )
+    )
+    for scenario, row in table.items():
+        assert row, f"no category data for {scenario}"
+        assert all(v > 0 for v in row.values())
+    # Scarce-resource jobs benefit at least as much as general jobs on the
+    # majority of scenarios.
+    def scarce_max(row):
+        return max(
+            (v for k, v in row.items() if k != "general"), default=0.0
+        )
+
+    favourable = sum(
+        1
+        for row in table.values()
+        if scarce_max(row) >= row.get("general", 0.0) * 0.8
+    )
+    assert favourable >= len(table) / 2

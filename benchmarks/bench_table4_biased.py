@@ -1,0 +1,37 @@
+"""Table 4: average JCT improvement on the four category-biased workloads.
+
+Each biased workload assigns half of its jobs to one focal device category
+(§5.4).  The paper reports Venn improvements of 1.94x-2.27x across the four
+biases, always ahead of FIFO and SRSF.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.report import format_speedup_table
+from repro.experiments.endtoend import table4_biased_workloads
+
+
+def test_table4_biased_workloads(benchmark, bench_config):
+    table = run_once(
+        benchmark,
+        table4_biased_workloads,
+        bench_config,
+        policies=("random", "fifo", "srsf", "venn"),
+    )
+    print()
+    print(
+        format_speedup_table(
+            table,
+            title="Table 4 — average JCT improvement on biased workloads",
+        )
+    )
+    assert set(table) == {
+        "general_heavy",
+        "compute_heavy",
+        "memory_heavy",
+        "resource_heavy",
+    }
+    # Venn beats random on every bias.
+    assert all(row["venn"] > 1.0 for row in table.values())

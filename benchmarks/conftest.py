@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation at
+the ``quick`` experiment scale (see ``repro.experiments.config``) and prints
+the resulting rows, so running ``pytest benchmarks/ --benchmark-only -s``
+produces a textual version of the paper's evaluation section.
+
+The heavy end-to-end benchmarks use ``benchmark.pedantic(..., rounds=1)``:
+they are macro-benchmarks whose value is the printed table and the wall-clock
+time of one full experiment, not a micro-benchmark statistic.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments.config import quick_config  # noqa: E402
+from repro.experiments.environment import build_environment  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """The quick-scale experiment configuration used by all benchmarks."""
+    return quick_config(seed=7)
+
+
+@pytest.fixture(scope="session")
+def bench_environment(bench_config):
+    """A shared environment (devices + availability + workload)."""
+    return build_environment(bench_config)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a macro-benchmark exactly once and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,9 @@
+"""Setup shim so editable installs work in offline environments.
+
+The canonical project metadata lives in pyproject.toml; this file exists so
+that `pip install -e .` succeeds without network access (legacy setup.py
+develop path, no wheel package required).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Metrics analysis and plain-text reporting helpers."""
+
+from .report import (
+    format_cell,
+    format_mapping,
+    format_series,
+    format_speedup_table,
+    format_table,
+)
+from .stats import (
+    BreakdownRow,
+    average_jct_speedup,
+    fairness_satisfaction,
+    geometric_mean,
+    jct_breakdown,
+    jct_speedup_by_category,
+    jct_speedup_by_demand_percentile,
+    summarize_run,
+)
+
+__all__ = [
+    "BreakdownRow",
+    "average_jct_speedup",
+    "fairness_satisfaction",
+    "format_cell",
+    "format_mapping",
+    "format_series",
+    "format_speedup_table",
+    "format_table",
+    "geometric_mean",
+    "jct_breakdown",
+    "jct_speedup_by_category",
+    "jct_speedup_by_demand_percentile",
+    "summarize_run",
+]

@@ -1,0 +1,94 @@
+"""Venn's core: scheduling, matching, fairness, baselines and the exact ILP.
+
+This subpackage contains the paper's primary contribution — the
+contention-aware Intersection Resource Scheduling heuristic (Algorithm 1),
+the resource-aware tier-based device matching (Algorithm 2), the fairness
+knob, the dynamic supply estimator — together with the baseline policies the
+evaluation compares against and the exact ILP formulation from Appendix B.
+"""
+
+from .baselines import (
+    ClientDrivenRandomPolicy,
+    FIFOPolicy,
+    JobDrivenRandomPolicy,
+    POLICY_NAMES,
+    RandomMatchingPolicy,
+    SRSFPolicy,
+    UniformRandomPolicy,
+    make_policy,
+)
+from .fairness import FairnessController
+from .ilp import IRSInstance, IRSSolution, solve_irs_bruteforce, solve_irs_milp
+from .irs import GroupAllocation, SchedulingPlan, build_plan
+from .job_group import GroupJobEntry, JobGroup, JobGroupRegistry
+from .matching import (
+    JobMatchingProfile,
+    TierDecision,
+    TierMatcher,
+    device_capacity_metric,
+)
+from .policy import BasePolicy, SchedulingPolicy
+from .requirements import (
+    COMPUTE_RICH,
+    DEFAULT_CATEGORIES,
+    GENERAL,
+    HIGH_PERFORMANCE,
+    MEMORY_RICH,
+    AtomSpace,
+    EligibilityRequirement,
+    signature_of,
+)
+from .scheduler import VennScheduler
+from .supply import SupplyEstimator
+from .types import (
+    Assignment,
+    DeviceProfile,
+    JobSpec,
+    JobState,
+    RequestState,
+    ResourceRequest,
+)
+
+__all__ = [
+    "Assignment",
+    "AtomSpace",
+    "BasePolicy",
+    "COMPUTE_RICH",
+    "ClientDrivenRandomPolicy",
+    "DEFAULT_CATEGORIES",
+    "DeviceProfile",
+    "EligibilityRequirement",
+    "FIFOPolicy",
+    "FairnessController",
+    "GENERAL",
+    "GroupAllocation",
+    "GroupJobEntry",
+    "HIGH_PERFORMANCE",
+    "IRSInstance",
+    "IRSSolution",
+    "JobDrivenRandomPolicy",
+    "JobGroup",
+    "JobGroupRegistry",
+    "JobMatchingProfile",
+    "JobSpec",
+    "JobState",
+    "MEMORY_RICH",
+    "POLICY_NAMES",
+    "RandomMatchingPolicy",
+    "RequestState",
+    "ResourceRequest",
+    "SRSFPolicy",
+    "SchedulingPlan",
+    "SchedulingPolicy",
+    "SupplyEstimator",
+    "TierDecision",
+    "TierMatcher",
+    "UniformRandomPolicy",
+    "VennScheduler",
+    "build_plan",
+    "device_capacity_metric",
+    "make_policy",
+    "signature_of",
+    "solve_irs_bruteforce",
+    "solve_irs_milp",
+]

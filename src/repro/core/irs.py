@@ -1,0 +1,243 @@
+"""Intersection Resource Scheduling (IRS) — Algorithm 1 of the paper.
+
+Given
+
+* the set of *resource-homogeneous job groups* (jobs bucketed by eligibility
+  requirement, :mod:`repro.core.job_group`),
+* the eligibility-atom space relating those requirements
+  (:mod:`repro.core.requirements`), and
+* the estimated device-arrival rate of every atom
+  (:mod:`repro.core.supply`),
+
+this module produces a :class:`SchedulingPlan`: a fixed job scheduling order
+plus an assignment of eligibility atoms to job groups (the ``S'_j`` sets of
+Algorithm 1).  At device check-in time the plan is consulted to find the
+first job in the order that may use the device — no per-device optimisation
+is needed, which is what gives Venn its ``max(O(m log m), O(n^2))``
+complexity.
+
+The three phases of Algorithm 1 map to the three private helpers:
+
+1. *intra-group ordering* — jobs inside a group sorted by ascending
+   (fairness-adjusted) remaining demand (§4.2.1);
+2. *initial allocation* — groups sorted by ascending eligible supply take
+   exclusive ownership of their eligible atoms, scarcest group first
+   (lines 5-9);
+3. *reallocation of intersected resources* — resource-rich groups may claim
+   atoms they share with scarcer groups when their (queue length / allocated
+   supply) ratio is higher, i.e. when doing so lowers the average scheduling
+   delay (lines 10-23, justified in Appendix D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .job_group import JobGroup
+from .requirements import AtomSignature, AtomSpace
+
+#: Guard for divisions by (near-)zero supply rates.
+_EPS = 1e-12
+
+
+@dataclass
+class GroupAllocation:
+    """Per-group outcome of Algorithm 1."""
+
+    #: Requirement name identifying the group.
+    key: str
+    #: Estimated total eligible supply rate ``|S_j|`` (devices / second).
+    supply_rate: float
+    #: Atoms allocated to the group (``S'_j``).
+    allocated_atoms: Set[AtomSignature] = field(default_factory=set)
+    #: Supply rate of the allocated atoms (``|S'_j|``).
+    allocated_rate: float = 0.0
+    #: (Fairness-adjusted) queue length ``m'_j`` used in the ratio test.
+    queue_length: float = 0.0
+
+
+@dataclass
+class SchedulingPlan:
+    """The output of Algorithm 1, consumed at every device check-in.
+
+    Attributes
+    ----------
+    group_order:
+        Group keys sorted scarcest-supply first.  Used as the global
+        tie-break when a device is eligible for several groups beyond the
+        atom owner.
+    job_order:
+        Per-group ordered job ids (ascending adjusted demand).
+    atom_preferences:
+        For every known atom, the ordered list of group keys that devices of
+        this atom should be offered to (owner group first, then the remaining
+        eligible groups scarcest first).
+    allocations:
+        Per-group :class:`GroupAllocation` diagnostics.
+    """
+
+    group_order: List[str] = field(default_factory=list)
+    job_order: Dict[str, List[int]] = field(default_factory=dict)
+    atom_preferences: Dict[AtomSignature, List[str]] = field(default_factory=dict)
+    allocations: Dict[str, GroupAllocation] = field(default_factory=dict)
+
+    def preference_for(self, signature: AtomSignature) -> List[str]:
+        """Ordered group keys a device with ``signature`` should be offered to.
+
+        Unknown signatures (never anticipated by the atom space) fall back to
+        "every group whose requirement name is in the signature, scarcest
+        first", which is always safe because a signature literally lists the
+        requirements the device satisfies.
+        """
+        sig = frozenset(signature)
+        pref = self.atom_preferences.get(sig)
+        if pref is not None:
+            return pref
+        return [key for key in self.group_order if key in sig]
+
+    def ordered_jobs_for(self, signature: AtomSignature) -> List[Tuple[str, int]]:
+        """Flattened (group, job) preference list for a device signature."""
+        out: List[Tuple[str, int]] = []
+        for key in self.preference_for(signature):
+            for job_id in self.job_order.get(key, ()):  # pragma: no branch
+                out.append((key, job_id))
+        return out
+
+
+def build_plan(
+    groups: Sequence[JobGroup],
+    atom_space: AtomSpace,
+    atom_rates: Mapping[AtomSignature, float],
+    queue_lengths: Optional[Mapping[str, float]] = None,
+    reallocate: bool = True,
+) -> SchedulingPlan:
+    """Run Algorithm 1 and return the resulting :class:`SchedulingPlan`.
+
+    Parameters
+    ----------
+    groups:
+        The resource-homogeneous job groups with their waiting jobs.
+    atom_space:
+        Atom space covering (at least) the requirements of ``groups``.
+    atom_rates:
+        Estimated arrival rate per atom signature, from the supply
+        estimator.  Atoms missing from the mapping are treated as rate 0 but
+        still allocated (a device of that kind may well check in later).
+    queue_lengths:
+        Optional fairness-adjusted queue length per group key; defaults to
+        the raw number of waiting jobs in each group.
+    reallocate:
+        Whether to run the inter-group reallocation phase (lines 10-23).
+        Disabling it keeps the initial, exclusive scarcest-first allocation
+        and is exposed for the design-choice ablation.
+    """
+    plan = SchedulingPlan()
+    if not groups:
+        return plan
+
+    rates: Dict[AtomSignature, float] = {
+        frozenset(sig): max(0.0, float(rate)) for sig, rate in atom_rates.items()
+    }
+
+    # ---- Phase 1: intra-group ordering (§4.2.1) ----------------------- #
+    allocations: Dict[str, GroupAllocation] = {}
+    eligible_atoms: Dict[str, FrozenSet[AtomSignature]] = {}
+    for group in groups:
+        key = group.key
+        atoms = set(atom_space.eligible_atoms(key)) | {
+            sig for sig in rates if key in sig
+        }
+        eligible_atoms[key] = frozenset(atoms)
+        supply = sum(rates.get(a, 0.0) for a in atoms)
+        qlen = (
+            float(queue_lengths[key])
+            if queue_lengths is not None and key in queue_lengths
+            else float(group.queue_length)
+        )
+        allocations[key] = GroupAllocation(
+            key=key, supply_rate=supply, queue_length=qlen
+        )
+        plan.job_order[key] = [e.job_id for e in group.ordered_jobs()]
+
+    # Scarcest-supply-first global order (ties broken by name for
+    # determinism).
+    plan.group_order = sorted(
+        allocations, key=lambda k: (allocations[k].supply_rate, k)
+    )
+
+    # ---- Phase 2: initial allocation (lines 5-9) ----------------------- #
+    unclaimed: Set[AtomSignature] = set()
+    for atoms in eligible_atoms.values():
+        unclaimed |= set(atoms)
+    for key in plan.group_order:  # ascending supply == scarcest first
+        claim = unclaimed & eligible_atoms[key]
+        alloc = allocations[key]
+        alloc.allocated_atoms = set(claim)
+        alloc.allocated_rate = sum(rates.get(a, 0.0) for a in claim)
+        unclaimed -= claim
+
+    # ---- Phase 3: reallocation of intersected resources (lines 10-23) -- #
+    descending = sorted(
+        allocations, key=lambda k: (-allocations[k].supply_rate, k)
+    )
+    if not reallocate:
+        descending = []
+    for j_key in descending:
+        alloc_j = allocations[j_key]
+        if not alloc_j.allocated_atoms:
+            # Line 12: only groups that still own some resources get to pull
+            # intersected resources from scarcer groups.
+            continue
+        # Candidate donor groups: scarcer supply and overlapping eligibility,
+        # visited from the most abundant of the scarcer groups downwards.
+        donors = [
+            k_key
+            for k_key in descending
+            if allocations[k_key].supply_rate < alloc_j.supply_rate
+            and (eligible_atoms[k_key] & eligible_atoms[j_key])
+        ]
+        for k_key in donors:
+            alloc_k = allocations[k_key]
+            ratio_j = alloc_j.queue_length / max(alloc_j.allocated_rate, _EPS)
+            denom_k = (
+                alloc_k.allocated_rate
+                if alloc_k.allocated_rate > _EPS
+                else alloc_k.supply_rate
+            )
+            ratio_k = alloc_k.queue_length / max(denom_k, _EPS)
+            if ratio_j > ratio_k:
+                shared = eligible_atoms[j_key] & eligible_atoms[k_key]
+                alloc_j.allocated_atoms |= shared
+                alloc_k.allocated_atoms -= alloc_j.allocated_atoms
+                alloc_j.allocated_rate = sum(
+                    rates.get(a, 0.0) for a in alloc_j.allocated_atoms
+                )
+                alloc_k.allocated_rate = sum(
+                    rates.get(a, 0.0) for a in alloc_k.allocated_atoms
+                )
+            else:
+                # Line 19: if this group still needs more resources it should
+                # take them from more abundant groups first, so stop here.
+                break
+
+    plan.allocations = allocations
+
+    # ---- Materialise per-atom preference lists ------------------------- #
+    all_atoms: Set[AtomSignature] = set(rates) | set().union(
+        *eligible_atoms.values()
+    )
+    for atom in all_atoms:
+        eligible_groups = [k for k in plan.group_order if atom in eligible_atoms[k]]
+        if not eligible_groups:
+            continue
+        owners = [
+            k for k in eligible_groups if atom in allocations[k].allocated_atoms
+        ]
+        rest = [k for k in eligible_groups if k not in owners]
+        plan.atom_preferences[atom] = owners + rest
+
+    return plan
+
+
+__all__ = ["GroupAllocation", "SchedulingPlan", "build_plan"]

@@ -1,0 +1,261 @@
+"""Resource-aware tier-based device-to-job matching — Algorithm 2 (§4.3).
+
+Response collection time is set by the *slowest* of a round's participants,
+so handing a job a set of devices with similar (high) capability shortens the
+round even if acquiring them takes slightly longer.  Venn therefore:
+
+1. profiles, per job, the hardware capability and response time of past
+   participants;
+2. partitions the job's eligible devices into ``V`` capability tiers using
+   quantile thresholds learnt from that profile;
+3. estimates a speed-up factor ``g_v = t_v / t_0`` per tier (the ratio of the
+   tier's 95th-percentile response time to the un-tiered 95th percentile);
+4. for each served request picks a tier uniformly at random and restricts the
+   job to that tier *only when doing so is predicted to lower its JCT*, i.e.
+   when ``V + g_u * c_i < c_i + 1`` where ``c_i`` is the job's measured ratio
+   of response-collection time to scheduling delay (Figure 7 of the paper).
+
+Devices outside the chosen tier are not wasted: they flow to the next job in
+the group's order, which the Venn scheduler handles at assignment time.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .types import DeviceProfile
+
+#: Percentile used as the statistical tail of the response-time distribution,
+#: excluding failures and extreme stragglers (per §4.3).
+TAIL_PERCENTILE = 95.0
+
+
+def device_capacity_metric(device: DeviceProfile) -> float:
+    """Scalar capability score used to place a device into a tier.
+
+    Faster devices (smaller ``speed_factor``) get a larger score; hardware
+    scores break ties between devices with identical speed factors.  Any
+    monotone-in-speed metric works; this one is cheap and deterministic.
+    """
+    return 1.0 / device.speed_factor + 1e-3 * (
+        device.cpu_score + device.memory_score
+    )
+
+
+@dataclass(frozen=True)
+class TierDecision:
+    """Outcome of Algorithm 2 for one served request."""
+
+    #: Whether tier-based matching is active for the request.
+    use_tier: bool
+    #: Index of the chosen tier (0 = slowest tier), when active.
+    tier_index: Optional[int] = None
+    #: Capability-metric bounds ``[low, high)`` of the chosen tier.
+    low: float = -math.inf
+    high: float = math.inf
+
+    def accepts(self, device: DeviceProfile) -> bool:
+        """True when the device may serve the request under this decision."""
+        if not self.use_tier:
+            return True
+        metric = device_capacity_metric(device)
+        return self.low <= metric < self.high
+
+
+#: Decision used whenever tier-based matching is off (profiling rounds,
+#: single-tier configurations, or when the JCT test says it would not help).
+NO_TIER = TierDecision(use_tier=False)
+
+
+class JobMatchingProfile:
+    """Per-job profiling state feeding Algorithm 2.
+
+    Records, over a sliding history of recent rounds, the capability metric
+    and response time of every participant plus each round's scheduling delay
+    and response-collection time.  From these it derives the tier thresholds,
+    the per-tier speed-up factors ``g_v`` and the job's response-to-schedule
+    ratio ``c_i``.
+    """
+
+    def __init__(self, num_tiers: int = 4, history: int = 2000) -> None:
+        if num_tiers < 1:
+            raise ValueError("num_tiers must be >= 1")
+        if history < 10:
+            raise ValueError("history must be >= 10 samples")
+        self.num_tiers = int(num_tiers)
+        self._capacities: Deque[float] = deque(maxlen=history)
+        self._response_times: Deque[float] = deque(maxlen=history)
+        self._sched_delays: Deque[float] = deque(maxlen=64)
+        self._collect_times: Deque[float] = deque(maxlen=64)
+        self._rounds_profiled = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record_participation(
+        self, device: DeviceProfile, response_time: float
+    ) -> None:
+        """Record one participant's capability and response latency."""
+        if response_time < 0:
+            raise ValueError("response_time must be non-negative")
+        self._capacities.append(device_capacity_metric(device))
+        self._response_times.append(float(response_time))
+
+    def record_round(
+        self, scheduling_delay: float, response_collection_time: float
+    ) -> None:
+        """Record a completed round's timing breakdown."""
+        if scheduling_delay < 0 or response_collection_time < 0:
+            raise ValueError("round timings must be non-negative")
+        self._sched_delays.append(float(scheduling_delay))
+        self._collect_times.append(float(response_collection_time))
+        self._rounds_profiled += 1
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def rounds_profiled(self) -> int:
+        return self._rounds_profiled
+
+    @property
+    def has_profile(self) -> bool:
+        """Whether enough history exists to attempt tier-based matching."""
+        return (
+            self._rounds_profiled >= 1
+            and len(self._capacities) >= max(4, self.num_tiers)
+            and len(self._sched_delays) >= 1
+        )
+
+    def response_to_schedule_ratio(self) -> Optional[float]:
+        """``c_i = t_response / t_schedule`` averaged over recent rounds."""
+        if not self._sched_delays or not self._collect_times:
+            return None
+        sched = float(np.mean(self._sched_delays))
+        collect = float(np.mean(self._collect_times))
+        if sched <= 0:
+            # Zero measured delay: devices were abundant, so the ratio is
+            # effectively unbounded — return a large finite value.
+            return math.inf if collect > 0 else 0.0
+        return collect / sched
+
+    def tier_thresholds(self) -> Optional[List[float]]:
+        """Capability-metric quantile cut points defining the ``V`` tiers.
+
+        Returns ``V - 1`` interior thresholds (ascending) or ``None`` when
+        there is not enough history.  Tier ``v`` covers
+        ``[thresholds[v-1], thresholds[v])`` with open ends at ±inf.
+        """
+        if not self.has_profile or self.num_tiers == 1:
+            return [] if self.num_tiers == 1 and self.has_profile else None
+        caps = np.asarray(self._capacities, dtype=float)
+        qs = np.linspace(0.0, 1.0, self.num_tiers + 1)[1:-1]
+        return [float(q) for q in np.quantile(caps, qs)]
+
+    def tier_bounds(self, tier_index: int) -> Tuple[float, float]:
+        """Capability bounds ``[low, high)`` for ``tier_index``."""
+        thresholds = self.tier_thresholds()
+        if thresholds is None:
+            raise RuntimeError("profile not ready for tier bounds")
+        edges = [-math.inf] + list(thresholds) + [math.inf]
+        if not (0 <= tier_index < self.num_tiers):
+            raise IndexError(f"tier_index {tier_index} out of range")
+        return edges[tier_index], edges[tier_index + 1]
+
+    def tier_speedups(self) -> Optional[List[float]]:
+        """Per-tier speed-up factors ``g_v = t_v / t_0`` (``<= 1`` is good).
+
+        ``t_0`` is the 95th-percentile response time over *all* profiled
+        participants; ``t_v`` the 95th percentile inside tier ``v``.  Empty
+        tiers inherit the global tail (factor 1.0).
+        """
+        if not self.has_profile:
+            return None
+        caps = np.asarray(self._capacities, dtype=float)
+        resp = np.asarray(self._response_times, dtype=float)
+        t0 = float(np.percentile(resp, TAIL_PERCENTILE))
+        if t0 <= 0:
+            return [1.0] * self.num_tiers
+        thresholds = self.tier_thresholds() or []
+        edges = [-math.inf] + list(thresholds) + [math.inf]
+        speedups: List[float] = []
+        for v in range(self.num_tiers):
+            mask = (caps >= edges[v]) & (caps < edges[v + 1])
+            if not mask.any():
+                speedups.append(1.0)
+                continue
+            tv = float(np.percentile(resp[mask], TAIL_PERCENTILE))
+            speedups.append(tv / t0)
+        return speedups
+
+
+class TierMatcher:
+    """Algorithm 2: decide, per served request, whether to restrict the job
+    to a randomly chosen device tier.
+
+    One matcher instance serves one job.  The Venn scheduler calls
+    :meth:`decide` the first time it tries to place a device on a request and
+    caches the returned :class:`TierDecision` for the request's lifetime.
+    """
+
+    def __init__(
+        self,
+        num_tiers: int = 4,
+        rng: Optional[np.random.Generator] = None,
+        history: int = 2000,
+    ) -> None:
+        self.profile = JobMatchingProfile(num_tiers=num_tiers, history=history)
+        self.num_tiers = int(num_tiers)
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def decide(self) -> TierDecision:
+        """Run the JCT test of Algorithm 2 (line 7) and pick a tier.
+
+        Returns :data:`NO_TIER` when the job has no profile yet (first
+        request: profile-only, per §4.3), when only one tier is configured,
+        or when the predicted JCT with tiering is not smaller.
+        """
+        prof = self.profile
+        if self.num_tiers <= 1 or not prof.has_profile:
+            return NO_TIER
+        ci = prof.response_to_schedule_ratio()
+        speedups = prof.tier_speedups()
+        if ci is None or speedups is None:
+            return NO_TIER
+        tier = int(self._rng.integers(0, self.num_tiers))
+        gu = speedups[tier]
+        # JCT with tiering ~ V * t_schedule + g_u * t_response versus the
+        # un-tiered t_schedule + t_response; dividing by t_schedule gives the
+        # test of Algorithm 2 line 7.
+        if math.isinf(ci):
+            beneficial = gu < 1.0
+        else:
+            beneficial = self.num_tiers + gu * ci < ci + 1.0
+        if not beneficial:
+            return NO_TIER
+        low, high = prof.tier_bounds(tier)
+        return TierDecision(use_tier=True, tier_index=tier, low=low, high=high)
+
+    # Convenience pass-throughs -------------------------------------------------
+    def record_participation(self, device: DeviceProfile, response_time: float) -> None:
+        self.profile.record_participation(device, response_time)
+
+    def record_round(
+        self, scheduling_delay: float, response_collection_time: float
+    ) -> None:
+        self.profile.record_round(scheduling_delay, response_collection_time)
+
+
+__all__ = [
+    "JobMatchingProfile",
+    "NO_TIER",
+    "TAIL_PERCENTILE",
+    "TierDecision",
+    "TierMatcher",
+    "device_capacity_metric",
+]

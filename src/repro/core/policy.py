@@ -1,0 +1,173 @@
+"""Scheduling-policy interface shared by Venn and every baseline.
+
+A policy is the component the simulator (or a real deployment) consults at
+each device check-in: "this device just became available — which job's open
+request should it serve?".  The interface mirrors the event structure of the
+paper's Figure 6:
+
+* jobs arrive and finish (``on_job_arrival`` / ``on_job_finished``),
+* each round a job submits and later closes a resource request
+  (``on_request_open`` / ``on_request_closed``),
+* devices check in one at a time and the policy returns an assignment
+  (``assign``),
+* device responses are reported back (``on_response``) so that policies that
+  profile device behaviour (Venn's tier-based matching) can learn from them.
+
+:class:`BasePolicy` implements the bookkeeping every concrete policy needs —
+job/requirement registries, the set of open requests and eligibility
+filtering — so that concrete policies only implement the ordering /
+matching decision itself.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Optional
+
+from .requirements import EligibilityRequirement
+from .types import DeviceProfile, JobSpec, ResourceRequest
+
+
+class SchedulingPolicy(abc.ABC):
+    """Abstract device-to-job scheduling policy."""
+
+    #: Human-readable policy name used in reports and benchmark tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def on_job_arrival(self, job: JobSpec, now: float) -> None:
+        """A new CL job registered with the resource manager."""
+
+    @abc.abstractmethod
+    def on_job_finished(self, job_id: int, now: float) -> None:
+        """A CL job completed its final round (or was cancelled)."""
+
+    @abc.abstractmethod
+    def on_request_open(self, request: ResourceRequest, now: float) -> None:
+        """A job opened a new per-round resource request."""
+
+    @abc.abstractmethod
+    def on_request_closed(self, request: ResourceRequest, now: float) -> None:
+        """A request reached a terminal state (completed or aborted)."""
+
+    @abc.abstractmethod
+    def assign(
+        self, device: DeviceProfile, now: float
+    ) -> Optional[ResourceRequest]:
+        """Pick the open request this checked-in device should serve.
+
+        Returns ``None`` when no eligible request wants the device (the
+        device then stays idle in the pool).
+        """
+
+    def on_response(
+        self, request: ResourceRequest, device: DeviceProfile, now: float
+    ) -> None:
+        """A device assigned to ``request`` reported back at ``now``.
+
+        Optional hook; the default implementation ignores it.
+        """
+
+    def on_device_checkin(self, device: DeviceProfile, now: float) -> None:
+        """A device became available (called before :meth:`assign`).
+
+        Optional hook used by policies that track supply (Venn).
+        """
+
+
+class BasePolicy(SchedulingPolicy):
+    """Common bookkeeping shared by all concrete policies.
+
+    Tracks registered jobs, their requirements and currently-open requests,
+    and provides eligibility filtering.  Subclasses decide the *order* in
+    which eligible requests are considered.
+    """
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.jobs: Dict[int, JobSpec] = {}
+        self.open_requests: Dict[int, ResourceRequest] = {}
+        #: Arrival time per job id (used by age-sensitive policies).
+        self.job_arrival: Dict[int, float] = {}
+        #: Rounds completed per job id (used by SRSF-style policies).
+        self.rounds_completed: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle hooks
+    # ------------------------------------------------------------------ #
+    def on_job_arrival(self, job: JobSpec, now: float) -> None:
+        if job.job_id in self.jobs:
+            raise ValueError(f"job {job.job_id} already registered")
+        self.jobs[job.job_id] = job
+        self.job_arrival[job.job_id] = now
+        self.rounds_completed[job.job_id] = 0
+
+    def on_job_finished(self, job_id: int, now: float) -> None:
+        self.jobs.pop(job_id, None)
+        self.open_requests.pop(job_id, None)
+        self.job_arrival.pop(job_id, None)
+        self.rounds_completed.pop(job_id, None)
+
+    def on_request_open(self, request: ResourceRequest, now: float) -> None:
+        if request.job_id not in self.jobs:
+            raise KeyError(f"request references unknown job {request.job_id}")
+        self.open_requests[request.job_id] = request
+
+    def on_request_closed(self, request: ResourceRequest, now: float) -> None:
+        current = self.open_requests.get(request.job_id)
+        if current is not None and current.request_id == request.request_id:
+            del self.open_requests[request.job_id]
+        if request.state.value == "completed":
+            self.rounds_completed[request.job_id] = (
+                self.rounds_completed.get(request.job_id, 0) + 1
+            )
+
+    # ------------------------------------------------------------------ #
+    # Helpers for subclasses
+    # ------------------------------------------------------------------ #
+    def requirement_of(self, job_id: int) -> EligibilityRequirement:
+        return self.jobs[job_id].requirement
+
+    def eligible_open_requests(
+        self, device: DeviceProfile
+    ) -> List[ResourceRequest]:
+        """Open, unsatisfied requests whose job may use ``device``."""
+        out: List[ResourceRequest] = []
+        for job_id, request in self.open_requests.items():
+            if request.remaining_demand <= 0:
+                continue
+            if device.device_id in request.assigned:
+                # One device participates at most once per round request.
+                continue
+            job = self.jobs.get(job_id)
+            if job is None:
+                continue
+            if job.requirement.is_eligible(device):
+                out.append(request)
+        return out
+
+    def remaining_job_demand(self, job_id: int) -> int:
+        """Rough remaining demand of a job: current request + future rounds.
+
+        Used by demand-sensitive orderings (SRSF and Venn's intra-group
+        order).  The estimate is ``remaining devices this round + devices per
+        round × remaining rounds``.
+        """
+        job = self.jobs[job_id]
+        done = self.rounds_completed.get(job_id, 0)
+        request = self.open_requests.get(job_id)
+        this_round = request.remaining_demand if request is not None else 0
+        rounds_in_flight = 1 if request is not None else 0
+        future_rounds = max(0, job.num_rounds - done - rounds_in_flight)
+        return this_round + future_rounds * job.demand_per_round
+
+    def iter_requirements(self) -> Iterable[EligibilityRequirement]:
+        """Distinct requirements across currently-registered jobs."""
+        seen = {}
+        for job in self.jobs.values():
+            seen[job.requirement.name] = job.requirement
+        return seen.values()
+
+
+__all__ = ["BasePolicy", "SchedulingPolicy"]

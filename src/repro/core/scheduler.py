@@ -1,0 +1,299 @@
+"""The end-to-end Venn scheduling policy (paper §4).
+
+:class:`VennScheduler` wires together the four pieces of the paper's design:
+
+* the **supply estimator** (§4.4) that tracks eligible-device arrival rates
+  per atom over a 24-hour window,
+* **Algorithm 1** (Intersection Resource Scheduling, §4.2) which turns the
+  current jobs + supply estimates into a :class:`~repro.core.irs.SchedulingPlan`
+  (a fixed job order plus an atom-to-group allocation),
+* **Algorithm 2** (tier-based device matching, §4.3) which, per served
+  request, may restrict the head job to one capability tier when that is
+  predicted to lower its JCT, and
+* the **fairness controller** (§4.4) whose knob ε bounds starvation of large
+  jobs.
+
+The plan is recomputed on job/request arrival and completion — exactly the
+trigger points named in the paper — and consulted in O(#groups) per device
+check-in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .fairness import FairnessController
+from .irs import SchedulingPlan, build_plan
+from .job_group import JobGroupRegistry
+from .matching import NO_TIER, TierDecision, TierMatcher
+from .policy import BasePolicy
+from .requirements import AtomSpace
+from .supply import DEFAULT_WINDOW, SupplyEstimator
+from .types import DeviceProfile, JobSpec, ResourceRequest
+
+
+class VennScheduler(BasePolicy):
+    """Contention-aware scheduling + resource-aware matching (the paper's Venn).
+
+    Parameters
+    ----------
+    num_tiers:
+        Number of device capability tiers ``V`` used by Algorithm 2.  ``1``
+        disables tier-based matching (the "Venn w/o matching" ablation).
+    epsilon:
+        Fairness knob ε of §4.4.  ``0`` disables starvation prevention.
+    supply_window:
+        Averaging window (seconds) of the supply estimator; 24 h by default.
+    enable_scheduling:
+        When ``False`` the IRS job order is replaced by FIFO while matching
+        stays on (the "Venn w/o scheduling" ablation of Figure 11).
+    enable_matching:
+        When ``False`` Algorithm 2 never restricts a job to a tier.
+    enable_reallocation:
+        When ``False`` the inter-group reallocation phase of Algorithm 1
+        (lines 10-23) is skipped and each group keeps only its initial,
+        exclusive allocation.  Exposed for the design-choice ablation.
+    demand_mode:
+        Intra-group ordering metric (§4.2.1): ``"total"`` (default) orders by
+        the job's total remaining demand across all future rounds, which the
+        paper recommends when that information is available; ``"round"``
+        orders by the current request's remaining demand only.
+    solo_jct_estimator:
+        Optional callable ``JobSpec -> seconds`` used by the fairness
+        controller for the contention-free JCT ``sd_i``.
+    seed:
+        Seed of the RNG used for Algorithm 2's random tier choice.
+    """
+
+    name = "venn"
+
+    def __init__(
+        self,
+        num_tiers: int = 4,
+        epsilon: float = 0.0,
+        supply_window: float = DEFAULT_WINDOW,
+        enable_scheduling: bool = True,
+        enable_matching: bool = True,
+        enable_reallocation: bool = True,
+        demand_mode: str = "total",
+        solo_jct_estimator: Optional[Callable[[JobSpec], float]] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if num_tiers < 1:
+            raise ValueError("num_tiers must be >= 1")
+        if demand_mode not in ("total", "round"):
+            raise ValueError("demand_mode must be 'total' or 'round'")
+        self.num_tiers = int(num_tiers)
+        self.enable_scheduling = bool(enable_scheduling)
+        self.enable_matching = bool(enable_matching)
+        self.enable_reallocation = bool(enable_reallocation)
+        self.demand_mode = demand_mode
+        self.supply = SupplyEstimator(window=supply_window)
+        self.fairness = FairnessController(
+            epsilon=epsilon, solo_jct_estimator=solo_jct_estimator
+        )
+        self._rng = np.random.default_rng(seed)
+        self._atom_space: Optional[AtomSpace] = None
+        self._plan: SchedulingPlan = SchedulingPlan()
+        self._plan_dirty = True
+        self._matchers: Dict[int, TierMatcher] = {}
+        #: Cached tier decision per open request id.
+        self._tier_decisions: Dict[int, TierDecision] = {}
+        #: Number of times the plan has been rebuilt (for overhead studies).
+        self.plan_rebuilds = 0
+        # Derive the ablation-aware display name.
+        if not self.enable_scheduling and self.enable_matching:
+            self.name = "venn_wo_sched"
+        elif self.enable_scheduling and not self.enable_matching:
+            self.name = "venn_wo_match"
+        elif not self.enable_scheduling and not self.enable_matching:
+            self.name = "fifo"
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle hooks
+    # ------------------------------------------------------------------ #
+    def on_job_arrival(self, job: JobSpec, now: float) -> None:
+        super().on_job_arrival(job, now)
+        self.fairness.register_job(job, now)
+        self._matchers[job.job_id] = TierMatcher(
+            num_tiers=self.num_tiers,
+            rng=self._rng,
+        )
+        self._atom_space = None  # requirements changed, rebuild lazily
+        self._plan_dirty = True
+
+    def on_job_finished(self, job_id: int, now: float) -> None:
+        super().on_job_finished(job_id, now)
+        self.fairness.forget_job(job_id)
+        self._matchers.pop(job_id, None)
+        self._atom_space = None
+        self._plan_dirty = True
+
+    def on_request_open(self, request: ResourceRequest, now: float) -> None:
+        super().on_request_open(request, now)
+        self._plan_dirty = True
+
+    def on_request_closed(self, request: ResourceRequest, now: float) -> None:
+        super().on_request_closed(request, now)
+        self._tier_decisions.pop(request.request_id, None)
+        matcher = self._matchers.get(request.job_id)
+        if (
+            matcher is not None
+            and request.scheduling_delay is not None
+            and request.response_collection_time is not None
+        ):
+            matcher.record_round(
+                request.scheduling_delay, request.response_collection_time
+            )
+        self._plan_dirty = True
+
+    def on_device_checkin(self, device: DeviceProfile, now: float) -> None:
+        space = self._ensure_atom_space()
+        self.supply.record_checkin(space.signature(device), now)
+
+    def on_response(
+        self, request: ResourceRequest, device: DeviceProfile, now: float
+    ) -> None:
+        matcher = self._matchers.get(request.job_id)
+        if matcher is None:
+            return
+        assigned_at = None
+        for dev_id, t in zip(request.assigned, request.assigned_times):
+            if dev_id == device.device_id:
+                assigned_at = t
+                break
+        if assigned_at is None:
+            return
+        matcher.record_participation(device, max(0.0, now - assigned_at))
+
+    # ------------------------------------------------------------------ #
+    # Plan construction
+    # ------------------------------------------------------------------ #
+    def _ensure_atom_space(self) -> AtomSpace:
+        if self._atom_space is None:
+            requirements = list(self.iter_requirements())
+            if not requirements:
+                # An empty space is still valid; it only knows the empty atom.
+                self._atom_space = AtomSpace([])
+            else:
+                self._atom_space = AtomSpace(requirements)
+            # Re-observe signatures known to the supply estimator so that the
+            # new space keeps atoms contributed by live devices.
+            for sig in self.supply.observed_signatures():
+                known = {
+                    name for name in sig if name in self._atom_space.requirements
+                }
+                self._atom_space.observe_signature(frozenset(known))
+        return self._atom_space
+
+    def _intra_group_demand(self, job_id: int) -> float:
+        """Demand metric for the intra-group ordering (§4.2.1).
+
+        ``"total"`` mode uses the job's remaining demand over all rounds;
+        ``"round"`` mode uses only the open request's remaining demand.
+        """
+        if self.demand_mode == "total":
+            return float(self.remaining_job_demand(job_id))
+        request = self.open_requests.get(job_id)
+        if request is not None and request.is_open:
+            return float(request.remaining_demand)
+        return float(self.jobs[job_id].demand_per_round)
+
+    def rebuild_plan(self, now: float) -> SchedulingPlan:
+        """Recompute the scheduling plan (Algorithm 1).  Exposed for tests
+        and for the scheduler-overhead benchmark (Figure 10)."""
+        space = self._ensure_atom_space()
+        num_active = max(1, len(self.jobs))
+        open_jobs = [
+            job_id
+            for job_id, req in self.open_requests.items()
+            if req.is_open and req.remaining_demand > 0
+        ]
+        remaining: Dict[int, float] = {}
+        adjusted: Dict[int, float] = {}
+        for job_id in self.jobs:
+            raw = self._intra_group_demand(job_id)
+            remaining[job_id] = raw
+            if self.enable_scheduling:
+                adjusted[job_id] = self.fairness.adjusted_demand(
+                    job_id, raw, now, num_active
+                )
+            else:
+                # FIFO ablation: order by arrival time instead of demand.
+                adjusted[job_id] = self.job_arrival.get(job_id, 0.0)
+        registry = JobGroupRegistry.from_jobs(
+            self.jobs, remaining, adjusted, open_jobs=open_jobs
+        )
+        queue_lengths: Dict[str, float] = {}
+        for group in registry.groups():
+            waiting = [
+                e.job_id for e in group.entries.values() if e.has_open_request
+            ]
+            queue_lengths[group.key] = self.fairness.adjusted_queue_length(
+                waiting, float(len(waiting)), now, num_active
+            )
+        self._plan = build_plan(
+            registry.groups(),
+            space,
+            self.supply.rates(now),
+            queue_lengths,
+            reallocate=self.enable_reallocation,
+        )
+        self._plan_dirty = False
+        self.plan_rebuilds += 1
+        return self._plan
+
+    @property
+    def plan(self) -> SchedulingPlan:
+        """The current scheduling plan (may be stale if marked dirty)."""
+        return self._plan
+
+    # ------------------------------------------------------------------ #
+    # Assignment
+    # ------------------------------------------------------------------ #
+    def _tier_decision_for(self, request: ResourceRequest) -> TierDecision:
+        decision = self._tier_decisions.get(request.request_id)
+        if decision is not None:
+            return decision
+        if not self.enable_matching or self.num_tiers <= 1:
+            decision = NO_TIER
+        else:
+            matcher = self._matchers.get(request.job_id)
+            decision = matcher.decide() if matcher is not None else NO_TIER
+        self._tier_decisions[request.request_id] = decision
+        return decision
+
+    def assign(
+        self, device: DeviceProfile, now: float
+    ) -> Optional[ResourceRequest]:
+        if not self.open_requests:
+            return None
+        if self._plan_dirty:
+            self.rebuild_plan(now)
+        space = self._ensure_atom_space()
+        signature = space.signature(device)
+        fallback: Optional[ResourceRequest] = None
+        for _group_key, job_id in self._plan.ordered_jobs_for(signature):
+            request = self.open_requests.get(job_id)
+            if request is None or not request.is_open or request.remaining_demand <= 0:
+                continue
+            if device.device_id in request.assigned:
+                # One device participates at most once per round request.
+                continue
+            job = self.jobs.get(job_id)
+            if job is None or not job.requirement.is_eligible(device):
+                continue
+            decision = self._tier_decision_for(request)
+            if decision.accepts(device):
+                return request
+            if fallback is None:
+                # Remember the first tier-restricted request so the device is
+                # not wasted when no later job in the order can use it.
+                fallback = request
+        return fallback
+
+
+__all__ = ["VennScheduler"]

@@ -1,0 +1,139 @@
+"""Dynamic resource-supply estimation (paper §4.4).
+
+Venn keeps a time-series record of device check-ins per eligibility atom and
+queries the *average* eligible-device arrival rate over a trailing window
+(24 hours by default).  Averaging over a full diurnal period makes the
+scheduler "far-sighted": momentary dips or spikes in device availability do
+not flip the scheduling order.
+
+The estimator is deliberately simple: an append-only list of (time,
+signature) events per atom with lazy pruning.  Query cost is amortised O(1)
+per event and the memory footprint is bounded by the window length.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Deque, Dict, Iterable, Mapping, Optional, Tuple
+
+from .requirements import AtomSignature
+
+#: Seconds in the default averaging window (24 hours, per the paper).
+DEFAULT_WINDOW = 24 * 3600.0
+
+
+class SupplyEstimator:
+    """Sliding-window estimator of device arrival rates per eligibility atom.
+
+    Parameters
+    ----------
+    window:
+        Length of the trailing window, in seconds, over which arrival rates
+        are averaged.  The paper uses 24 hours so that diurnal patterns are
+        smoothed out.
+    prior_rates:
+        Optional mapping ``signature -> devices/second`` used before any
+        check-ins have been observed (and blended with observations until the
+        window has filled once).  Workload generators can seed this from the
+        capacity distribution so that the very first scheduling decisions are
+        already contention-aware.
+    """
+
+    def __init__(
+        self,
+        window: float = DEFAULT_WINDOW,
+        prior_rates: Optional[Mapping[AtomSignature, float]] = None,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = float(window)
+        self._events: Dict[AtomSignature, Deque[float]] = defaultdict(deque)
+        self._prior: Dict[AtomSignature, float] = (
+            {frozenset(k): float(v) for k, v in prior_rates.items()}
+            if prior_rates
+            else {}
+        )
+        self._first_event_time: Optional[float] = None
+        self._last_event_time: Optional[float] = None
+        self._total_checkins = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record_checkin(self, signature: AtomSignature, now: float) -> None:
+        """Record one device check-in with eligibility ``signature``."""
+        sig = frozenset(signature)
+        if self._last_event_time is not None and now < self._last_event_time:
+            raise ValueError(
+                f"check-ins must be recorded in time order "
+                f"(got {now} after {self._last_event_time})"
+            )
+        self._events[sig].append(now)
+        if self._first_event_time is None:
+            self._first_event_time = now
+        self._last_event_time = now
+        self._total_checkins += 1
+        self._prune(sig, now)
+
+    def _prune(self, sig: AtomSignature, now: float) -> None:
+        horizon = now - self.window
+        events = self._events[sig]
+        while events and events[0] < horizon:
+            events.popleft()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def observed_signatures(self) -> Tuple[AtomSignature, ...]:
+        """Signatures seen so far (plus any seeded priors)."""
+        sigs = set(self._events) | set(self._prior)
+        return tuple(sigs)
+
+    def _effective_span(self, now: float) -> float:
+        """Length of the observation span to divide counts by."""
+        if self._first_event_time is None:
+            return self.window
+        span = min(self.window, max(now - self._first_event_time, 1.0))
+        return span
+
+    def rate(self, signature: AtomSignature, now: float) -> float:
+        """Estimated arrival rate (devices/second) for one atom at ``now``.
+
+        Before the window has filled once, the empirical rate is blended with
+        the prior (if any) proportionally to how much of the window has been
+        observed, so that cold-start estimates degrade gracefully.
+        """
+        sig = frozenset(signature)
+        self._prune(sig, now)
+        span = self._effective_span(now)
+        count = len(self._events.get(sig, ()))
+        empirical = count / span
+        prior = self._prior.get(sig)
+        if prior is None:
+            return empirical
+        fill = min(1.0, span / self.window) if self._total_checkins else 0.0
+        return fill * empirical + (1.0 - fill) * prior
+
+    def rate_for_atoms(
+        self, atoms: Iterable[AtomSignature], now: float
+    ) -> float:
+        """Total arrival rate across a set of atoms (a requirement's supply)."""
+        return sum(self.rate(a, now) for a in set(map(frozenset, atoms)))
+
+    def rates(self, now: float) -> Dict[AtomSignature, float]:
+        """Arrival-rate estimate for every known atom."""
+        return {sig: self.rate(sig, now) for sig in self.observed_signatures()}
+
+    def count_in_window(self, signature: AtomSignature, now: float) -> int:
+        """Raw number of check-ins for ``signature`` inside the window."""
+        sig = frozenset(signature)
+        self._prune(sig, now)
+        return len(self._events.get(sig, ()))
+
+    @property
+    def total_checkins(self) -> int:
+        """Total number of check-ins ever recorded (window-independent)."""
+        return self._total_checkins
+
+
+__all__ = ["DEFAULT_WINDOW", "SupplyEstimator"]

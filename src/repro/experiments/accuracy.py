@@ -1,0 +1,121 @@
+"""Model-accuracy experiments (Figure 4 and Figure 9).
+
+Both experiments couple the FL training substrate (:mod:`repro.fl`) with the
+scheduling layer:
+
+* **Figure 4** — resource contention hurts round-to-accuracy: when the same
+  client pool is evenly partitioned among 1/5/10/20 jobs, each job sees fewer
+  and less diverse clients per round and converges to a lower accuracy.
+* **Figure 9** — the scheduling policy does not change *what* a job learns
+  per round, only *when* rounds complete; Venn therefore reaches the same
+  final accuracy sooner.  The experiment trains one round-to-accuracy curve,
+  runs the simulator under FIFO / SRSF / Venn to obtain per-round completion
+  times, and reports average test accuracy over wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..fl.datasets import FederatedDataConfig, SyntheticFederatedDataset
+from ..fl.trainer import (
+    FederatedTrainer,
+    TrainerConfig,
+    accuracy_over_time,
+    contention_accuracy_curves,
+)
+from .config import ExperimentConfig, default_config
+from .endtoend import run_policies
+from .environment import build_environment
+
+
+def figure4_contention_accuracy(
+    job_counts: Sequence[int] = (1, 5, 10, 20),
+    num_rounds: int = 30,
+    num_clients: int = 200,
+    clients_per_round: int = 20,
+    seed: int = 11,
+) -> Dict[int, List[float]]:
+    """Round-to-accuracy curves when the client pool is split across jobs."""
+    dataset = SyntheticFederatedDataset(
+        FederatedDataConfig(num_clients=num_clients), seed=seed
+    )
+    trainer_config = TrainerConfig(clients_per_round=clients_per_round)
+    return contention_accuracy_curves(
+        dataset, job_counts, num_rounds, config=trainer_config, seed=seed
+    )
+
+
+def _round_accuracy_curve(
+    max_rounds: int, seed: int, clients_per_round: int = 20, num_clients: int = 150
+) -> List[float]:
+    """One shared round-to-accuracy trajectory used across policies."""
+    dataset = SyntheticFederatedDataset(
+        FederatedDataConfig(num_clients=num_clients), seed=seed
+    )
+    trainer = FederatedTrainer(
+        dataset, TrainerConfig(clients_per_round=clients_per_round), seed=seed
+    )
+    history = trainer.train(max_rounds)
+    return history.accuracies
+
+
+def figure9_accuracy_over_time(
+    config: Optional[ExperimentConfig] = None,
+    policies: Sequence[str] = ("fifo", "srsf", "venn"),
+    num_time_points: int = 40,
+    seed: int = 11,
+) -> Tuple[List[float], Dict[str, List[float]]]:
+    """Average test accuracy vs wall-clock time per scheduling policy.
+
+    Returns ``(time_grid_seconds, {policy: mean accuracy at each time})``.
+    """
+    config = config or default_config()
+    env = build_environment(config)
+    results = run_policies(env, tuple(policies))
+
+    max_rounds = max(job.num_rounds for job in env.workload.jobs)
+    accuracy_curve = _round_accuracy_curve(max_rounds, seed=seed)
+
+    horizon = config.horizon
+    time_grid = list(np.linspace(0.0, horizon, num_time_points))
+
+    curves: Dict[str, List[float]] = {}
+    for policy in policies:
+        metrics = results[policy]
+        per_job_curves: List[List[float]] = []
+        for job in env.workload.jobs:
+            jm = metrics.jobs[job.job_id]
+            # Reconstruct per-round completion times from arrival + cumulative
+            # round durations (scheduling delay + response time per round).
+            durations = [
+                s + r for s, r in zip(jm.scheduling_delays, jm.response_times)
+            ]
+            if not durations:
+                continue
+            completion_times = list(job.arrival_time + np.cumsum(durations))
+            accs = accuracy_curve[: len(completion_times)]
+            per_job_curves.append(
+                accuracy_over_time(completion_times, accs, time_grid)
+            )
+        if per_job_curves:
+            curves[policy] = list(np.mean(np.array(per_job_curves), axis=0))
+        else:
+            curves[policy] = [0.0] * len(time_grid)
+    return time_grid, curves
+
+
+def final_accuracy_by_policy(
+    curves: Dict[str, List[float]]
+) -> Dict[str, float]:
+    """Final (end-of-horizon) accuracy per policy — should be ~equal (Fig. 9)."""
+    return {policy: (series[-1] if series else 0.0) for policy, series in curves.items()}
+
+
+__all__ = [
+    "figure4_contention_accuracy",
+    "figure9_accuracy_over_time",
+    "final_accuracy_by_policy",
+]

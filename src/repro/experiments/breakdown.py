@@ -1,0 +1,73 @@
+"""JCT breakdown experiments (Figure 5 and Figure 11).
+
+* **Figure 5** breaks one round's completion time into scheduling delay and
+  response collection time under random matching, at two contention levels
+  (10 vs 20 jobs sharing the same pool).  The scheduling delay dominates as
+  contention grows — the observation that motivates Venn.
+
+* **Figure 11** decomposes Venn's improvement into its two components by
+  running, on the Low and High workloads: Random, FIFO, Venn without
+  scheduling (matching only), Venn without matching (scheduling only) and
+  full Venn, and reporting each policy's average-JCT improvement over
+  Random.  Matching matters most when contention is low; scheduling when it
+  is high.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..analysis.stats import BreakdownRow, average_jct_speedup, jct_breakdown
+from .config import ExperimentConfig, default_config
+from .endtoend import run_policies, run_scenario
+from .environment import build_environment
+
+#: The five bars of Figure 11, in paper order.
+FIGURE11_POLICIES: Sequence[str] = (
+    "random",
+    "fifo",
+    "venn_wo_sched",
+    "venn_wo_match",
+    "venn",
+)
+
+
+def figure5_jct_breakdown(
+    config: Optional[ExperimentConfig] = None,
+    job_counts: Sequence[int] = (10, 20),
+    policy: str = "random",
+) -> Dict[int, BreakdownRow]:
+    """Average scheduling delay vs response time under random matching.
+
+    One row per contention level (number of concurrent jobs).
+    """
+    config = config or default_config()
+    out: Dict[int, BreakdownRow] = {}
+    for n in job_counts:
+        cfg = config.with_jobs(n)
+        env = build_environment(cfg)
+        results = run_policies(env, (policy,))
+        out[n] = jct_breakdown(results[policy], label=f"{n} jobs")
+    return out
+
+
+def figure11_component_breakdown(
+    config: Optional[ExperimentConfig] = None,
+    scenarios: Sequence[str] = ("low", "high"),
+    policies: Sequence[str] = FIGURE11_POLICIES,
+) -> Dict[str, Dict[str, float]]:
+    """Average-JCT improvement of each Venn component over random matching."""
+    config = config or default_config()
+    out: Dict[str, Dict[str, float]] = {}
+    for scenario in scenarios:
+        results = run_scenario(config, scenario, policies)
+        speedups = average_jct_speedup(results, baseline="random")
+        out[scenario] = {p: speedups[p] for p in policies}
+    return out
+
+
+__all__ = [
+    "FIGURE11_POLICIES",
+    "figure11_component_breakdown",
+    "figure5_jct_breakdown",
+]

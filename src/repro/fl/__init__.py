@@ -1,0 +1,28 @@
+"""Numpy federated-learning substrate (FEMNIST / FedAvg stand-in)."""
+
+from .datasets import ClientShard, FederatedDataConfig, SyntheticFederatedDataset
+from .fedavg import fedavg_aggregate, fedavg_delta_aggregate
+from .models import FLModel, MLPClassifier, SoftmaxRegression
+from .trainer import (
+    FederatedTrainer,
+    TrainerConfig,
+    TrainingHistory,
+    accuracy_over_time,
+    contention_accuracy_curves,
+)
+
+__all__ = [
+    "ClientShard",
+    "FLModel",
+    "FederatedDataConfig",
+    "FederatedTrainer",
+    "MLPClassifier",
+    "SoftmaxRegression",
+    "SyntheticFederatedDataset",
+    "TrainerConfig",
+    "TrainingHistory",
+    "accuracy_over_time",
+    "contention_accuracy_curves",
+    "fedavg_aggregate",
+    "fedavg_delta_aggregate",
+]

@@ -1,0 +1,124 @@
+"""Per-device runtime state tracked by the simulation engine."""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.types import DeviceProfile
+
+#: Seconds per day, used for the one-job-per-day realism constraint (§5.1).
+SECONDS_PER_DAY = 24 * 3600.0
+
+
+class DeviceStatus(enum.Enum):
+    OFFLINE = "offline"
+    IDLE = "idle"
+    BUSY = "busy"
+
+
+@dataclass
+class DeviceRuntime:
+    """Mutable simulation state of one device.
+
+    Wraps the immutable :class:`~repro.core.types.DeviceProfile` with the
+    dynamic bits the engine needs: whether the device is online, until when,
+    whether it is currently executing a task and when it last participated in
+    a job (for the one-job-per-day constraint).
+    """
+
+    profile: DeviceProfile
+    status: DeviceStatus = DeviceStatus.OFFLINE
+    #: End of the current availability session (valid while online).
+    session_end: float = 0.0
+    #: Job currently being served, if busy.
+    current_job: Optional[int] = None
+    #: Request currently being served, if busy.
+    current_request: Optional[int] = None
+    #: Day index (floor(time / 86400)) of the last participation, or None.
+    last_participation_day: Optional[int] = None
+    #: Total tasks completed successfully.
+    tasks_completed: int = 0
+    #: Total tasks that failed (dropout or offline before finishing).
+    tasks_failed: int = 0
+
+    @property
+    def device_id(self) -> int:
+        return self.profile.device_id
+
+    @property
+    def is_online(self) -> bool:
+        return self.status in (DeviceStatus.IDLE, DeviceStatus.BUSY)
+
+    @property
+    def is_idle(self) -> bool:
+        return self.status is DeviceStatus.IDLE
+
+    # ------------------------------------------------------------------ #
+    # Transitions
+    # ------------------------------------------------------------------ #
+    def check_in(self, now: float, session_end: float) -> None:
+        if session_end <= now:
+            raise ValueError("session_end must be after check-in time")
+        if self.status is DeviceStatus.BUSY:
+            raise RuntimeError(
+                f"device {self.device_id} cannot check in while busy"
+            )
+        self.status = DeviceStatus.IDLE
+        self.session_end = session_end
+
+    def check_out(self) -> None:
+        """End the availability session (only while not mid-task)."""
+        if self.status is DeviceStatus.BUSY:
+            # The engine resolves busy devices at response/failure time; a
+            # checkout while busy simply records that the session is over.
+            return
+        self.status = DeviceStatus.OFFLINE
+        self.current_job = None
+        self.current_request = None
+
+    def start_task(self, job_id: int, request_id: int, now: float) -> None:
+        if self.status is not DeviceStatus.IDLE:
+            raise RuntimeError(
+                f"device {self.device_id} must be idle to start a task "
+                f"(status={self.status.value})"
+            )
+        self.status = DeviceStatus.BUSY
+        self.current_job = job_id
+        self.current_request = request_id
+        self.last_participation_day = int(math.floor(now / SECONDS_PER_DAY))
+
+    def finish_task(self, now: float, success: bool) -> None:
+        if self.status is not DeviceStatus.BUSY:
+            raise RuntimeError(f"device {self.device_id} is not executing a task")
+        if success:
+            self.tasks_completed += 1
+        else:
+            self.tasks_failed += 1
+        self.current_job = None
+        self.current_request = None
+        # The device returns to the pool only if its session is still open.
+        self.status = DeviceStatus.IDLE if now < self.session_end else DeviceStatus.OFFLINE
+
+    # ------------------------------------------------------------------ #
+    # Eligibility helpers
+    # ------------------------------------------------------------------ #
+    def participated_today(self, now: float) -> bool:
+        if self.last_participation_day is None:
+            return False
+        return self.last_participation_day == int(math.floor(now / SECONDS_PER_DAY))
+
+    def can_take_task(self, now: float, enforce_daily_limit: bool = True) -> bool:
+        """Whether the device may be offered to a job right now."""
+        if not self.is_idle:
+            return False
+        if now >= self.session_end:
+            return False
+        if enforce_daily_limit and self.participated_today(now):
+            return False
+        return True
+
+
+__all__ = ["DeviceRuntime", "DeviceStatus", "SECONDS_PER_DAY"]

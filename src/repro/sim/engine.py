@@ -1,0 +1,378 @@
+"""The event-driven collaborative-learning simulator.
+
+The engine replays a device availability trace and a CL workload against a
+pluggable scheduling policy and measures, per job, the scheduling delay,
+response collection time and end-to-end completion time — the quantities the
+paper's evaluation is built on (§5.1 describes the authors' simulator doing
+exactly this).
+
+Round semantics follow the paper's synchronous-CL setup:
+
+* a job opens one resource request per round asking for ``D_i`` devices;
+* devices assigned to the request start computing immediately; the
+  *scheduling delay* ends when the ``D_i``-th device is assigned;
+* the round succeeds once at least ``min_report_fraction × D_i`` devices
+  report back (80 % in the paper) **and** the full demand was assigned;
+* if that has not happened by ``submit_time + round_deadline`` the round is
+  aborted and retried — the fate of rounds under heavy contention;
+* the job finishes after ``num_rounds`` successful rounds; its JCT is the
+  time from arrival to the last round's completion.
+
+Devices obey the availability trace (they can only be assigned while online,
+and drop out when their session ends mid-task) and, by default, the paper's
+one-job-per-day realism constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.policy import SchedulingPolicy
+from ..core.types import DeviceProfile, JobSpec, ResourceRequest
+from ..traces.device_trace import DeviceAvailabilityTrace
+from ..traces.workloads import Workload
+from .device import DeviceRuntime, DeviceStatus
+from .events import Event, EventQueue, EventType
+from .job import JobRuntime
+from .latency import LatencyConfig, ResponseLatencyModel
+from .metrics import SimulationMetrics, collect_job_metrics
+
+
+@dataclass
+class SimulationConfig:
+    """Engine-level configuration."""
+
+    #: Simulation horizon in seconds.  Jobs unfinished at the horizon are
+    #: censored (their JCT is at least ``horizon - arrival``).
+    horizon: float = 4 * 24 * 3600.0
+    #: Enforce the paper's one-CL-job-per-device-per-day constraint.
+    enforce_daily_limit: bool = True
+    #: Seed for the latency / failure model.
+    seed: Optional[int] = None
+    #: Safety valve against runaway event loops.
+    max_events: int = 10_000_000
+    #: Latency model parameters.
+    latency: LatencyConfig = field(default_factory=LatencyConfig)
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if self.max_events <= 0:
+            raise ValueError("max_events must be positive")
+
+
+class Simulator:
+    """Discrete-event CL simulator binding devices, jobs and a policy."""
+
+    def __init__(
+        self,
+        devices: Sequence[DeviceProfile],
+        availability: DeviceAvailabilityTrace,
+        workload: Union[Workload, Sequence[JobSpec]],
+        policy: SchedulingPolicy,
+        config: Optional[SimulationConfig] = None,
+        categories: Optional[Mapping[int, str]] = None,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        self.policy = policy
+        self.latency = ResponseLatencyModel(self.config.latency, seed=self.config.seed)
+
+        if isinstance(workload, Workload):
+            jobs = list(workload.jobs)
+            categories = dict(workload.categories)
+        else:
+            jobs = list(workload)
+        self._categories: Dict[int, str] = dict(categories or {})
+        for job in jobs:
+            self._categories.setdefault(job.job_id, job.requirement.name)
+
+        self.devices: Dict[int, DeviceRuntime] = {
+            d.device_id: DeviceRuntime(profile=d) for d in devices
+        }
+        missing = {
+            s.device_id for s in availability.sessions
+        } - set(self.devices)
+        if missing:
+            raise ValueError(
+                f"availability trace references unknown devices: {sorted(missing)[:5]}"
+            )
+        self.availability = availability
+        self.jobs: Dict[int, JobRuntime] = {j.job_id: JobRuntime(spec=j) for j in jobs}
+        if len(self.jobs) != len(jobs):
+            raise ValueError("job ids must be unique")
+
+        self.queue = EventQueue()
+        self.now = 0.0
+        self._request_counter = 0
+        self._requests: Dict[int, ResourceRequest] = {}
+        self._deadline_events: Dict[int, Event] = {}
+        self._idle_devices: set = set()
+        self._metrics = SimulationMetrics(
+            policy=getattr(policy, "name", type(policy).__name__),
+            horizon=self.config.horizon,
+        )
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------ #
+    # Setup
+    # ------------------------------------------------------------------ #
+    def _schedule_initial_events(self) -> None:
+        for job in self.jobs.values():
+            if job.spec.arrival_time <= self.config.horizon:
+                self.queue.push(
+                    job.spec.arrival_time, EventType.JOB_ARRIVAL, job_id=job.job_id
+                )
+        for start, device_id, end in self.availability.checkin_events():
+            if start >= self.config.horizon:
+                continue
+            self.queue.push(
+                start, EventType.DEVICE_CHECKIN, device_id=device_id, session_end=end
+            )
+            self.queue.push(
+                min(end, self.config.horizon),
+                EventType.DEVICE_CHECKOUT,
+                device_id=device_id,
+                session_end=end,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationMetrics:
+        """Run the simulation to the horizon and return aggregate metrics."""
+        self._schedule_initial_events()
+        handlers = {
+            EventType.JOB_ARRIVAL: self._on_job_arrival,
+            EventType.DEVICE_CHECKIN: self._on_device_checkin,
+            EventType.DEVICE_CHECKOUT: self._on_device_checkout,
+            EventType.DEVICE_RESPONSE: self._on_device_response,
+            EventType.REQUEST_DEADLINE: self._on_request_deadline,
+        }
+        while self.queue:
+            event = self.queue.pop()
+            if event is None:
+                break
+            if event.time > self.config.horizon:
+                break
+            self.now = event.time
+            handlers[event.type](event)
+            self._events_processed += 1
+            if self._events_processed >= self.config.max_events:
+                raise RuntimeError(
+                    "simulation exceeded max_events; check for livelock or "
+                    "raise SimulationConfig.max_events"
+                )
+            if all(j.is_finished for j in self.jobs.values()):
+                break
+        self._finalise()
+        return self._metrics
+
+    def _finalise(self) -> None:
+        horizon = self.config.horizon
+        for job in self.jobs.values():
+            if not job.is_finished:
+                job.cancel(min(self.now, horizon))
+            self._metrics.jobs[job.job_id] = collect_job_metrics(
+                job, category=self._categories.get(job.job_id, "general")
+            )
+
+    # ------------------------------------------------------------------ #
+    # Event handlers
+    # ------------------------------------------------------------------ #
+    def _on_job_arrival(self, event: Event) -> None:
+        job = self.jobs[event.payload["job_id"]]
+        self.policy.on_job_arrival(job.spec, self.now)
+        self._open_request(job)
+        self._dispatch_idle_devices()
+
+    def _on_device_checkin(self, event: Event) -> None:
+        device = self.devices[event.payload["device_id"]]
+        session_end = event.payload["session_end"]
+        if device.status is DeviceStatus.BUSY:
+            # The previous task overran into this session; treat the new
+            # session as extending the device's online window.
+            device.session_end = max(device.session_end, session_end)
+            return
+        device.check_in(self.now, session_end)
+        self._idle_devices.add(device.device_id)
+        self._metrics.total_checkins += 1
+        self.policy.on_device_checkin(device.profile, self.now)
+        if device.can_take_task(self.now, self.config.enforce_daily_limit):
+            self._try_assign(device)
+
+    def _on_device_checkout(self, event: Event) -> None:
+        device = self.devices[event.payload["device_id"]]
+        session_end = event.payload["session_end"]
+        if device.status is DeviceStatus.BUSY:
+            return  # resolved when the task finishes
+        if device.is_online and device.session_end <= session_end:
+            device.check_out()
+            self._idle_devices.discard(device.device_id)
+
+    def _on_device_response(self, event: Event) -> None:
+        payload = event.payload
+        device = self.devices[payload["device_id"]]
+        success: bool = payload["success"]
+        request = self._requests.get(payload["request_id"])
+        device.finish_task(self.now, success)
+        if device.is_idle:
+            self._idle_devices.add(device.device_id)
+        else:
+            self._idle_devices.discard(device.device_id)
+        if success:
+            self._metrics.total_responses += 1
+        else:
+            self._metrics.total_failures += 1
+
+        if success and request is not None and request.is_open:
+            request.record_response(device.device_id, self.now)
+            self.policy.on_response(request, device.profile, self.now)
+            self._maybe_complete_request(request)
+        elif request is not None and not request.is_open:
+            # The round was aborted (or cancelled) while this device was still
+            # computing; its work is discarded, so it keeps its daily budget.
+            device.last_participation_day = None
+
+        # A freed device may immediately serve another job (when the daily
+        # limit permits).
+        if device.can_take_task(self.now, self.config.enforce_daily_limit):
+            self._try_assign(device)
+
+    def _on_request_deadline(self, event: Event) -> None:
+        request = self._requests.get(event.payload["request_id"])
+        if request is None or not request.is_open:
+            return
+        job = self.jobs[request.job_id]
+        job.abort_round(self.now)
+        self._metrics.total_aborts += 1
+        self.policy.on_request_closed(request, self.now)
+        self._deadline_events.pop(request.request_id, None)
+        # Participation in an aborted round does not count against the
+        # one-job-per-day limit: the round's work was discarded and the device
+        # is still charging/idle, so it may be re-matched.  Devices still
+        # executing the aborted task are released when their response fires.
+        for device_id in request.assigned:
+            device = self.devices[device_id]
+            if device.status is not DeviceStatus.BUSY:
+                device.last_participation_day = None
+        # Retry the round immediately with a fresh request.
+        self._open_request(job)
+        self._dispatch_idle_devices()
+
+    # ------------------------------------------------------------------ #
+    # Request lifecycle helpers
+    # ------------------------------------------------------------------ #
+    def _open_request(self, job: JobRuntime) -> ResourceRequest:
+        self._request_counter += 1
+        request = job.open_round_request(self._request_counter, self.now)
+        self._requests[request.request_id] = request
+        self.policy.on_request_open(request, self.now)
+        deadline_event = self.queue.push(
+            request.deadline, EventType.REQUEST_DEADLINE, request_id=request.request_id
+        )
+        self._deadline_events[request.request_id] = deadline_event
+        return request
+
+    def _maybe_complete_request(self, request: ResourceRequest) -> None:
+        if request.remaining_demand > 0:
+            return
+        if len(request.responses) < request.min_reports:
+            return
+        job = self.jobs[request.job_id]
+        deadline_event = self._deadline_events.pop(request.request_id, None)
+        if deadline_event is not None:
+            deadline_event.cancel()
+        self.policy.on_request_closed(request, self.now)
+        finished = job.complete_round(self.now)
+        if finished:
+            self.policy.on_job_finished(job.job_id, self.now)
+        else:
+            self._open_request(job)
+            self._dispatch_idle_devices()
+
+    # ------------------------------------------------------------------ #
+    # Assignment helpers
+    # ------------------------------------------------------------------ #
+    def _has_unsatisfied_request(self) -> bool:
+        return any(
+            r.is_open and r.remaining_demand > 0 for r in self._open_requests()
+        )
+
+    def _open_requests(self) -> Iterable[ResourceRequest]:
+        for job in self.jobs.values():
+            if job.open_request is not None and job.open_request.is_open:
+                yield job.open_request
+
+    def _try_assign(self, device: DeviceRuntime) -> None:
+        request = self.policy.assign(device.profile, self.now)
+        if request is None:
+            return
+        if not request.is_open or request.remaining_demand <= 0:
+            return
+        if device.device_id in request.assigned:
+            # A device never participates twice in the same round request.
+            return
+        job = self.jobs.get(request.job_id)
+        if job is None:
+            raise ValueError(
+                f"policy assigned device {device.device_id} to unknown job "
+                f"{request.job_id}"
+            )
+        if not job.spec.requirement.is_eligible(device.profile):
+            raise ValueError(
+                f"policy assigned ineligible device {device.device_id} to job "
+                f"{request.job_id} ({job.spec.requirement.name})"
+            )
+        request.record_assignment(device.device_id, self.now)
+        device.start_task(job.job_id, request.request_id, self.now)
+        self._idle_devices.discard(device.device_id)
+
+        duration = self.latency.sample_duration(job.spec, device.profile)
+        dropped = self.latency.sample_failure(device.profile)
+        finishes_in_session = self.now + duration <= device.session_end
+        success = (not dropped) and finishes_in_session
+        if success:
+            finish_time = self.now + duration
+        else:
+            # A dropout is detected either when the task would have finished
+            # or when the device goes offline, whichever comes first.
+            finish_time = min(self.now + duration, max(device.session_end, self.now))
+        self.queue.push(
+            finish_time,
+            EventType.DEVICE_RESPONSE,
+            device_id=device.device_id,
+            request_id=request.request_id,
+            job_id=job.job_id,
+            success=success,
+        )
+
+    def _dispatch_idle_devices(self) -> None:
+        """Offer idle online devices to the policy while demand remains."""
+        if not self._has_unsatisfied_request():
+            return
+        for device_id in list(self._idle_devices):
+            device = self.devices[device_id]
+            if not device.can_take_task(self.now, self.config.enforce_daily_limit):
+                continue
+            self._try_assign(device)
+            if not self._has_unsatisfied_request():
+                break
+
+
+def run_simulation(
+    devices: Sequence[DeviceProfile],
+    availability: DeviceAvailabilityTrace,
+    workload: Union[Workload, Sequence[JobSpec]],
+    policy: SchedulingPolicy,
+    config: Optional[SimulationConfig] = None,
+    categories: Optional[Mapping[int, str]] = None,
+) -> SimulationMetrics:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    sim = Simulator(devices, availability, workload, policy, config, categories)
+    return sim.run()
+
+
+__all__ = ["SimulationConfig", "Simulator", "run_simulation"]

@@ -1,0 +1,103 @@
+"""Event definitions and the event queue of the CL simulator.
+
+The simulator is a classic discrete-event engine: every state change is an
+:class:`Event` with a timestamp, events are processed in time order, and
+processing an event may schedule further events.  Ties are broken by an
+insertion sequence number so runs are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional
+
+
+class EventType(enum.Enum):
+    """All event kinds understood by the engine."""
+
+    #: A CL job arrives and registers with the resource manager.
+    JOB_ARRIVAL = "job_arrival"
+    #: A device comes online (starts an availability session).
+    DEVICE_CHECKIN = "device_checkin"
+    #: A device's availability session ends.
+    DEVICE_CHECKOUT = "device_checkout"
+    #: A device finishes its assigned task and reports back.
+    DEVICE_RESPONSE = "device_response"
+    #: A round's deadline fires (the round aborts unless already complete).
+    REQUEST_DEADLINE = "request_deadline"
+    #: The simulation horizon is reached; remaining work is censored.
+    HORIZON = "horizon"
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled event.
+
+    Only ``time`` and ``seq`` take part in ordering; the payload carries the
+    event-specific data (device id, request id, ...).
+    """
+
+    time: float
+    seq: int
+    type: EventType = field(compare=False)
+    payload: Dict[str, Any] = field(compare=False, default_factory=dict)
+    #: Events can be cancelled lazily (e.g. a deadline for a request that
+    #: already completed); the engine skips cancelled events when popping.
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def push(self, time: float, type: EventType, **payload: Any) -> Event:
+        """Schedule an event and return it (so callers may cancel it later)."""
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        event = Event(time=time, seq=next(self._counter), type=type, payload=payload)
+        heapq.heappush(self._heap, event)
+        self._size += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or ``None`` when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            self._size -= 1
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+            self._size -= 1
+        return self._heap[0].time if self._heap else None
+
+    def drain(self) -> Iterator[Event]:
+        """Iterate remaining events in order (consumes the queue)."""
+        while True:
+            event = self.pop()
+            if event is None:
+                return
+            yield event
+
+
+__all__ = ["Event", "EventQueue", "EventType"]

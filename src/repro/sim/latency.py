@@ -1,0 +1,104 @@
+"""On-device execution latency and failure model.
+
+The paper (§4.3) notes that device response times follow a log-normal
+distribution and uses the 95th percentile as the tail statistic.  This module
+provides that model: a device's response time is
+
+``base_task_duration × speed_factor × LogNormal(0, sigma) + communication``
+
+where ``speed_factor`` comes from the capacity trace (slower hardware → larger
+factor) and the communication term models upload/download of model weights.
+Failures combine the device's intrinsic reliability with going offline before
+the task finishes (the engine checks the latter against the session end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.types import DeviceProfile, JobSpec
+
+
+@dataclass
+class LatencyConfig:
+    """Parameters of the response-latency model."""
+
+    #: Log-normal sigma of the multiplicative compute-time noise.
+    compute_sigma: float = 0.35
+    #: Bounds of the uniform communication overhead (seconds).
+    comm_min: float = 5.0
+    comm_max: float = 20.0
+    #: Global multiplier applied to every job's base task duration (lets
+    #: experiments speed up or slow down the whole fleet consistently).
+    duration_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.compute_sigma < 0:
+            raise ValueError("compute_sigma must be non-negative")
+        if self.comm_min < 0 or self.comm_max < self.comm_min:
+            raise ValueError("need 0 <= comm_min <= comm_max")
+        if self.duration_scale <= 0:
+            raise ValueError("duration_scale must be positive")
+
+
+class ResponseLatencyModel:
+    """Samples per-assignment response times and failure outcomes."""
+
+    def __init__(
+        self,
+        config: Optional[LatencyConfig] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.config = config or LatencyConfig()
+        self._rng = np.random.default_rng(seed)
+
+    def sample_duration(self, job: JobSpec, device: DeviceProfile) -> float:
+        """Response time (seconds) for ``device`` executing one round of ``job``."""
+        cfg = self.config
+        compute = (
+            job.base_task_duration
+            * cfg.duration_scale
+            * device.speed_factor
+            * float(np.exp(self._rng.normal(0.0, cfg.compute_sigma)))
+        )
+        comm = float(self._rng.uniform(cfg.comm_min, cfg.comm_max))
+        return compute + comm
+
+    def sample_failure(self, device: DeviceProfile) -> bool:
+        """Whether the device drops out instead of reporting back."""
+        return bool(self._rng.random() > device.reliability)
+
+    def expected_duration(self, job: JobSpec, device: DeviceProfile) -> float:
+        """Mean response time (no sampling); useful for estimators and tests."""
+        cfg = self.config
+        compute = (
+            job.base_task_duration
+            * cfg.duration_scale
+            * device.speed_factor
+            * float(np.exp(cfg.compute_sigma**2 / 2.0))
+        )
+        comm = (cfg.comm_min + cfg.comm_max) / 2.0
+        return compute + comm
+
+    def tail_duration(
+        self, job: JobSpec, device: DeviceProfile, percentile: float = 95.0
+    ) -> float:
+        """Approximate response-time percentile for one device."""
+        from scipy import stats
+
+        cfg = self.config
+        z = stats.norm.ppf(percentile / 100.0)
+        compute = (
+            job.base_task_duration
+            * cfg.duration_scale
+            * device.speed_factor
+            * float(np.exp(cfg.compute_sigma * z))
+        )
+        comm = cfg.comm_min + (percentile / 100.0) * (cfg.comm_max - cfg.comm_min)
+        return compute + comm
+
+
+__all__ = ["LatencyConfig", "ResponseLatencyModel"]

@@ -1,0 +1,205 @@
+"""Simulation metrics: JCT, scheduling delay and response-collection time.
+
+The paper's primary metric is the average job completion time (JCT); its
+analysis figures additionally break JCT into scheduling delay and response
+collection time (Figure 1 / Figure 5) and slice improvements by job size and
+eligibility category (Tables 2 and 3).  This module computes all of those
+from the simulator's per-job round records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .job import JobRuntime
+
+
+@dataclass
+class JobMetrics:
+    """Metrics of a single job after a simulation run."""
+
+    job_id: int
+    name: str
+    category: str
+    demand_per_round: int
+    num_rounds: int
+    total_demand: int
+    arrival_time: float
+    completed: bool
+    jct: Optional[float]
+    #: Per-completed-round scheduling delays / response collection times.
+    scheduling_delays: List[float] = field(default_factory=list)
+    response_times: List[float] = field(default_factory=list)
+    aborted_rounds: int = 0
+    rounds_completed: int = 0
+
+    @property
+    def mean_scheduling_delay(self) -> float:
+        return float(np.mean(self.scheduling_delays)) if self.scheduling_delays else 0.0
+
+    @property
+    def mean_response_time(self) -> float:
+        return float(np.mean(self.response_times)) if self.response_times else 0.0
+
+
+@dataclass
+class SimulationMetrics:
+    """Aggregate metrics of one simulation run."""
+
+    policy: str
+    horizon: float
+    jobs: Dict[int, JobMetrics] = field(default_factory=dict)
+    #: Total device check-ins observed during the run.
+    total_checkins: int = 0
+    #: Total successful task responses.
+    total_responses: int = 0
+    #: Total device-task failures (dropouts / offline).
+    total_failures: int = 0
+    #: Total aborted round attempts across all jobs.
+    total_aborts: int = 0
+
+    # ------------------------------------------------------------------ #
+    # JCT aggregates
+    # ------------------------------------------------------------------ #
+    def job_jcts(self, censor_to_horizon: bool = True) -> Dict[int, float]:
+        """JCT per job; unfinished jobs are censored to the horizon.
+
+        Censoring keeps cross-policy comparisons meaningful: a policy that
+        fails to finish a job within the horizon is charged at least the
+        horizon-minus-arrival time for it.
+        """
+        out: Dict[int, float] = {}
+        for job_id, jm in self.jobs.items():
+            if jm.jct is not None:
+                out[job_id] = jm.jct
+            elif censor_to_horizon:
+                out[job_id] = max(0.0, self.horizon - jm.arrival_time)
+        return out
+
+    @property
+    def average_jct(self) -> float:
+        """Average JCT over all jobs (unfinished censored to the horizon)."""
+        jcts = list(self.job_jcts().values())
+        return float(np.mean(jcts)) if jcts else 0.0
+
+    @property
+    def average_completed_jct(self) -> float:
+        """Average JCT over completed jobs only."""
+        jcts = [m.jct for m in self.jobs.values() if m.jct is not None]
+        return float(np.mean(jcts)) if jcts else 0.0
+
+    @property
+    def completion_rate(self) -> float:
+        if not self.jobs:
+            return 0.0
+        return sum(1 for m in self.jobs.values() if m.completed) / len(self.jobs)
+
+    @property
+    def average_scheduling_delay(self) -> float:
+        delays = [d for m in self.jobs.values() for d in m.scheduling_delays]
+        return float(np.mean(delays)) if delays else 0.0
+
+    @property
+    def average_response_time(self) -> float:
+        times = [t for m in self.jobs.values() for t in m.response_times]
+        return float(np.mean(times)) if times else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Slicing (Tables 2 and 3)
+    # ------------------------------------------------------------------ #
+    def jct_by_category(self) -> Dict[str, float]:
+        """Average JCT per eligibility category."""
+        buckets: Dict[str, List[float]] = {}
+        jcts = self.job_jcts()
+        for job_id, jm in self.jobs.items():
+            buckets.setdefault(jm.category, []).append(jcts[job_id])
+        return {cat: float(np.mean(v)) for cat, v in buckets.items()}
+
+    def jct_by_demand_percentile(
+        self, percentiles: Sequence[float] = (25.0, 50.0, 75.0)
+    ) -> Dict[float, float]:
+        """Average JCT of jobs whose total demand is below each percentile."""
+        if not self.jobs:
+            return {p: 0.0 for p in percentiles}
+        totals = np.array([m.total_demand for m in self.jobs.values()], dtype=float)
+        jcts = self.job_jcts()
+        out: Dict[float, float] = {}
+        for p in percentiles:
+            cut = float(np.percentile(totals, p))
+            selected = [
+                jcts[j] for j, m in self.jobs.items() if m.total_demand <= cut
+            ]
+            out[p] = float(np.mean(selected)) if selected else 0.0
+        return out
+
+
+def collect_job_metrics(
+    runtime: JobRuntime, category: str = "general"
+) -> JobMetrics:
+    """Build a :class:`JobMetrics` from a finished (or censored) job runtime."""
+    spec = runtime.spec
+    sched = [
+        r.scheduling_delay
+        for r in runtime.rounds
+        if r.completed and r.scheduling_delay is not None
+    ]
+    resp = [
+        r.response_collection_time
+        for r in runtime.rounds
+        if r.completed and r.response_collection_time is not None
+    ]
+    aborted = sum(r.aborted_attempts for r in runtime.rounds)
+    # Count aborted attempts of the in-flight round as well.
+    aborted += runtime.attempt
+    return JobMetrics(
+        job_id=spec.job_id,
+        name=spec.name,
+        category=category,
+        demand_per_round=spec.demand_per_round,
+        num_rounds=spec.num_rounds,
+        total_demand=spec.total_demand,
+        arrival_time=spec.arrival_time,
+        completed=runtime.is_finished,
+        jct=runtime.jct,
+        scheduling_delays=sched,
+        response_times=resp,
+        aborted_rounds=aborted,
+        rounds_completed=runtime.rounds_completed,
+    )
+
+
+def speedup_over(
+    baseline: SimulationMetrics, other: SimulationMetrics
+) -> float:
+    """Average-JCT speed-up of ``other`` relative to ``baseline`` (>1 is better)."""
+    other_jct = other.average_jct
+    if other_jct <= 0:
+        return float("inf")
+    return baseline.average_jct / other_jct
+
+
+def per_job_speedups(
+    baseline: SimulationMetrics, other: SimulationMetrics
+) -> Dict[int, float]:
+    """Per-job JCT speed-ups of ``other`` relative to ``baseline``."""
+    base = baseline.job_jcts()
+    new = other.job_jcts()
+    out: Dict[int, float] = {}
+    for job_id, b in base.items():
+        n = new.get(job_id)
+        if n is None or n <= 0:
+            continue
+        out[job_id] = b / n
+    return out
+
+
+__all__ = [
+    "JobMetrics",
+    "SimulationMetrics",
+    "collect_job_metrics",
+    "per_job_speedups",
+    "speedup_over",
+]

@@ -1,0 +1,219 @@
+"""Device availability trace (FedScale-style, Figure 2a).
+
+The paper replays a real one-week availability trace (180 M events) in which
+devices are usable only while charging and on WiFi; the number of available
+devices follows a strong diurnal pattern.  This module generates synthetic
+traces with the same behaviourally relevant structure:
+
+* every device alternates between *online sessions* and offline gaps;
+* the probability of starting a session follows a 24-hour sinusoid, so the
+  population-level availability swings by roughly 2x between the daily peak
+  and trough (as in Figure 2a);
+* session lengths are log-normal (most sessions are an hour or two, a few
+  last all night).
+
+A trace is a list of :class:`AvailabilitySession` per device plus helpers to
+compute the availability curve that reproduces Figure 2a.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Seconds per day, used throughout the module.
+DAY = 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class AvailabilitySession:
+    """A contiguous interval during which one device is online and idle-able."""
+
+    device_id: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("session end must be after start")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class DiurnalConfig:
+    """Parameters of the diurnal availability model."""
+
+    #: Simulated horizon in seconds (default: 4 days).
+    horizon: float = 4 * DAY
+    #: Fraction of the population online at the daily peak.
+    peak_availability: float = 0.30
+    #: Fraction of the population online at the daily trough.
+    trough_availability: float = 0.12
+    #: Hour of day (0-24) at which availability peaks (devices charge at night).
+    peak_hour: float = 2.0
+    #: Median online-session length in seconds.
+    median_session: float = 2 * 3600.0
+    #: Log-normal sigma of the session length.
+    session_sigma: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if not (0 < self.trough_availability <= self.peak_availability <= 1):
+            raise ValueError("need 0 < trough <= peak <= 1")
+        if self.median_session <= 0:
+            raise ValueError("median_session must be positive")
+
+    def availability_at(self, t: float) -> float:
+        """Expected online fraction of the population at time ``t``."""
+        mid = (self.peak_availability + self.trough_availability) / 2.0
+        amp = (self.peak_availability - self.trough_availability) / 2.0
+        phase = 2.0 * np.pi * ((t / DAY) - self.peak_hour / 24.0)
+        return float(mid + amp * np.cos(phase))
+
+
+@dataclass
+class DeviceAvailabilityTrace:
+    """All availability sessions of a device population over a horizon."""
+
+    horizon: float
+    sessions: List[AvailabilitySession] = field(default_factory=list)
+
+    def sessions_of(self, device_id: int) -> List[AvailabilitySession]:
+        return [s for s in self.sessions if s.device_id == device_id]
+
+    def checkin_events(self) -> List[Tuple[float, int, float]]:
+        """Sorted ``(start, device_id, end)`` tuples — the simulator's input."""
+        events = [(s.start, s.device_id, s.end) for s in self.sessions]
+        events.sort()
+        return events
+
+    def availability_curve(
+        self, resolution: float = 600.0
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (times, online_count) sampled every ``resolution`` seconds.
+
+        This regenerates the data behind Figure 2a: the number of devices
+        online over the horizon, exhibiting the diurnal swing.
+        """
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        times = np.arange(0.0, self.horizon + resolution, resolution)
+        counts = np.zeros_like(times)
+        # Sweep-line over session boundaries.
+        deltas: Dict[float, int] = {}
+        for s in self.sessions:
+            deltas[s.start] = deltas.get(s.start, 0) + 1
+            deltas[s.end] = deltas.get(s.end, 0) - 1
+        boundary_times = sorted(deltas)
+        online = 0
+        idx = 0
+        for k, t in enumerate(times):
+            while idx < len(boundary_times) and boundary_times[idx] <= t:
+                online += deltas[boundary_times[idx]]
+                idx += 1
+            counts[k] = online
+        return times, counts
+
+    @property
+    def num_devices(self) -> int:
+        return len({s.device_id for s in self.sessions})
+
+
+class DiurnalAvailabilityModel:
+    """Generates :class:`DeviceAvailabilityTrace` objects.
+
+    The generation works per device: offline gaps are sampled from an
+    exponential distribution whose rate is modulated by the diurnal
+    availability target, and each gap is followed by a log-normal online
+    session.  The resulting population-level availability tracks the
+    configured peak/trough fractions.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DiurnalConfig] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.config = config or DiurnalConfig()
+        self._rng = np.random.default_rng(seed)
+
+    def _sample_session_length(self) -> float:
+        cfg = self.config
+        return float(
+            np.exp(self._rng.normal(np.log(cfg.median_session), cfg.session_sigma))
+        )
+
+    def _mean_offline_gap(self, t: float) -> float:
+        """Mean offline gap so the stationary online fraction matches the target.
+
+        With online fraction ``p`` and mean session ``s`` the mean gap must be
+        ``s * (1 - p) / p``.
+        """
+        cfg = self.config
+        p = max(1e-3, cfg.availability_at(t))
+        mean_session = cfg.median_session * float(np.exp(cfg.session_sigma**2 / 2))
+        return mean_session * (1.0 - p) / p
+
+    def generate(self, num_devices: int) -> DeviceAvailabilityTrace:
+        """Generate a trace for ``num_devices`` devices over the horizon."""
+        if num_devices <= 0:
+            raise ValueError("num_devices must be positive")
+        cfg = self.config
+        sessions: List[AvailabilitySession] = []
+        for dev in range(num_devices):
+            # Random initial phase so devices are not synchronised.
+            t = float(self._rng.uniform(0.0, self._mean_offline_gap(0.0)))
+            while t < cfg.horizon:
+                gap = float(self._rng.exponential(self._mean_offline_gap(t)))
+                start = t + gap
+                if start >= cfg.horizon:
+                    break
+                length = self._sample_session_length()
+                end = min(start + length, cfg.horizon)
+                if end > start:
+                    sessions.append(
+                        AvailabilitySession(device_id=dev, start=start, end=end)
+                    )
+                t = end
+        return DeviceAvailabilityTrace(horizon=cfg.horizon, sessions=sessions)
+
+
+def merge_traces(traces: Sequence[DeviceAvailabilityTrace]) -> DeviceAvailabilityTrace:
+    """Merge traces over disjoint device-id ranges into one trace."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    horizon = max(t.horizon for t in traces)
+    merged = DeviceAvailabilityTrace(horizon=horizon)
+    heap: List[Tuple[float, int, AvailabilitySession]] = []
+    for i, tr in enumerate(traces):
+        for s in tr.sessions:
+            heapq.heappush(heap, (s.start, i, s))
+    while heap:
+        _, _, s = heapq.heappop(heap)
+        merged.sessions.append(s)
+    return merged
+
+
+def iter_checkins(
+    trace: DeviceAvailabilityTrace,
+) -> Iterator[Tuple[float, int, float]]:
+    """Convenience iterator over sorted check-in events."""
+    yield from trace.checkin_events()
+
+
+__all__ = [
+    "AvailabilitySession",
+    "DAY",
+    "DeviceAvailabilityTrace",
+    "DiurnalAvailabilityModel",
+    "DiurnalConfig",
+    "iter_checkins",
+    "merge_traces",
+]

@@ -1,0 +1,123 @@
+"""Tests for the exact ILP formulation of IRS (Appendix B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ilp import IRSInstance, solve_irs_bruteforce, solve_irs_milp
+
+
+def simple_instance() -> IRSInstance:
+    """Three devices, two jobs; job 1 only eligible for the last device."""
+    return IRSInstance.build(
+        arrival_times=[1.0, 2.0, 3.0],
+        eligibility=[[True, False], [True, False], [True, True]],
+        demands=[2, 1],
+    )
+
+
+class TestIRSInstance:
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            IRSInstance.build([1.0], [[True], [False]], [1])
+        with pytest.raises(ValueError):
+            IRSInstance.build([1.0, 2.0], [[True], [False, True]], [1])
+
+    def test_demands_must_be_positive(self):
+        with pytest.raises(ValueError):
+            IRSInstance.build([1.0], [[True]], [0])
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            IRSInstance.build([-1.0], [[True]], [1])
+
+    def test_feasibility_check(self):
+        inst = simple_instance()
+        assert inst.is_feasible_assignment({0: 0, 1: 0, 2: 1})
+        assert not inst.is_feasible_assignment({0: 0, 1: 1, 2: 0})  # ineligible
+        assert not inst.is_feasible_assignment({0: 0, 2: 1})  # demand unmet
+
+    def test_average_delay(self):
+        inst = simple_instance()
+        delay = inst.average_delay({0: 0, 1: 0, 2: 1})
+        assert delay == pytest.approx((2.0 + 3.0) / 2)
+
+
+class TestMILPSolver:
+    def test_simple_instance_optimal(self):
+        solution = solve_irs_milp(simple_instance())
+        assert solution.optimal
+        # Job 0 takes the first two devices, job 1 must take the third.
+        assert solution.average_delay == pytest.approx(2.5)
+        assert simple_instance().is_feasible_assignment(solution.assignment)
+
+    def test_infeasible_instance_rejected(self):
+        inst = IRSInstance.build(
+            arrival_times=[1.0, 2.0],
+            eligibility=[[True, False], [True, False]],
+            demands=[1, 1],
+        )
+        with pytest.raises(ValueError):
+            solve_irs_milp(inst)
+
+    def test_matches_bruteforce_on_toy(self):
+        inst = simple_instance()
+        milp = solve_irs_milp(inst)
+        brute = solve_irs_bruteforce(inst)
+        assert milp.average_delay == pytest.approx(brute.average_delay)
+
+    def test_scarce_resource_instance(self):
+        """Scarce-eligible devices must be saved for the constrained job."""
+        # Devices arrive 1..6; odd devices are eligible for both jobs, even
+        # devices only for job 0.  Job 1 needs 2 scarce devices.
+        arrivals = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        elig = [[True, i % 2 == 0] for i in range(6)]
+        inst = IRSInstance.build(arrivals, elig, demands=[2, 2])
+        solution = solve_irs_milp(inst)
+        # Optimal: job 0 takes devices at t=2,4 (even), job 1 takes t=1,3.
+        assert solution.average_delay == pytest.approx((4.0 + 3.0) / 2)
+
+    def test_brute_force_limits_size(self):
+        big = IRSInstance.build(
+            arrival_times=list(np.arange(1.0, 14.0)),
+            eligibility=[[True]] * 13,
+            demands=[13],
+        )
+        with pytest.raises(ValueError):
+            solve_irs_bruteforce(big)
+
+
+class TestMILPAgainstBruteforceProperty:
+    @given(
+        n_devices=st.integers(min_value=3, max_value=7),
+        n_jobs=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_milp_equals_bruteforce(self, n_devices, n_jobs, seed):
+        """Property: on random small feasible instances, the MILP and the
+        exhaustive search find the same optimal average delay."""
+        rng = np.random.default_rng(seed)
+        arrivals = sorted(float(t) for t in rng.uniform(0.0, 10.0, size=n_devices))
+        elig = rng.random((n_devices, n_jobs)) < 0.7
+        # Ensure feasibility: each job gets at least one exclusive device and
+        # demand 1..2 bounded by its eligible count.
+        demands = []
+        for j in range(n_jobs):
+            if not elig[:, j].any():
+                elig[rng.integers(0, n_devices), j] = True
+        # Keep total demand <= devices to leave room for the per-device limit.
+        for j in range(n_jobs):
+            demands.append(1)
+        if sum(demands) > n_devices:
+            return
+        inst = IRSInstance.build(arrivals, elig.tolist(), demands)
+        try:
+            brute = solve_irs_bruteforce(inst)
+        except ValueError:
+            return  # infeasible combination; nothing to compare
+        milp = solve_irs_milp(inst)
+        assert milp.average_delay == pytest.approx(brute.average_delay, rel=1e-6)

@@ -1,0 +1,244 @@
+"""Unit and property tests for Algorithm 1 (Intersection Resource Scheduling)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.irs import build_plan
+from repro.core.job_group import JobGroupRegistry
+from repro.core.requirements import (
+    COMPUTE_RICH,
+    DEFAULT_CATEGORIES,
+    GENERAL,
+    HIGH_PERFORMANCE,
+    MEMORY_RICH,
+    AtomSpace,
+    EligibilityRequirement,
+)
+
+# The four atoms induced by the default categories.
+ATOM_LOW = frozenset({"general"})
+ATOM_CPU = frozenset({"general", "compute_rich"})
+ATOM_MEM = frozenset({"general", "memory_rich"})
+ATOM_HIGH = frozenset(
+    {"general", "compute_rich", "memory_rich", "high_performance"}
+)
+
+
+def default_space() -> AtomSpace:
+    return AtomSpace(DEFAULT_CATEGORIES)
+
+
+def registry_with(jobs):
+    """jobs: list of (job_id, requirement, demand)."""
+    reg = JobGroupRegistry()
+    for job_id, req, demand in jobs:
+        reg.upsert_job(job_id, req, remaining_demand=demand)
+    return reg
+
+
+DEFAULT_RATES = {
+    ATOM_LOW: 0.5,
+    ATOM_CPU: 0.1,
+    ATOM_MEM: 0.2,
+    ATOM_HIGH: 0.2,
+}
+
+
+class TestBuildPlanBasics:
+    def test_empty_groups_produce_empty_plan(self):
+        plan = build_plan([], default_space(), DEFAULT_RATES)
+        assert plan.group_order == []
+        assert plan.atom_preferences == {}
+
+    def test_group_order_is_scarcest_first(self):
+        reg = registry_with(
+            [
+                (1, GENERAL, 10),
+                (2, COMPUTE_RICH, 10),
+                (3, HIGH_PERFORMANCE, 10),
+            ]
+        )
+        plan = build_plan(reg.groups(), default_space(), DEFAULT_RATES)
+        # Supply: high_perf 0.2 < compute 0.3 < general 1.0.
+        assert plan.group_order == ["high_performance", "compute_rich", "general"]
+
+    def test_job_order_within_group_is_smallest_demand_first(self):
+        reg = registry_with(
+            [
+                (1, GENERAL, 50),
+                (2, GENERAL, 5),
+                (3, GENERAL, 20),
+            ]
+        )
+        plan = build_plan(reg.groups(), default_space(), DEFAULT_RATES)
+        assert plan.job_order["general"] == [2, 3, 1]
+
+    def test_scarce_group_owns_its_only_atom(self):
+        reg = registry_with(
+            [
+                (1, GENERAL, 10),
+                (2, HIGH_PERFORMANCE, 10),
+            ]
+        )
+        plan = build_plan(reg.groups(), default_space(), DEFAULT_RATES)
+        # The high-performance atom is offered to the high-perf group first.
+        assert plan.preference_for(ATOM_HIGH)[0] == "high_performance"
+        # The low-end atom can only go to the general group.
+        assert plan.preference_for(ATOM_LOW) == ["general"]
+
+    def test_preferences_only_contain_eligible_groups(self):
+        reg = registry_with(
+            [
+                (1, GENERAL, 10),
+                (2, COMPUTE_RICH, 10),
+                (3, MEMORY_RICH, 10),
+                (4, HIGH_PERFORMANCE, 10),
+            ]
+        )
+        plan = build_plan(reg.groups(), default_space(), DEFAULT_RATES)
+        assert set(plan.preference_for(ATOM_CPU)) == {"general", "compute_rich"}
+        assert set(plan.preference_for(ATOM_MEM)) == {"general", "memory_rich"}
+        assert set(plan.preference_for(ATOM_LOW)) == {"general"}
+        assert set(plan.preference_for(ATOM_HIGH)) == {
+            "general",
+            "compute_rich",
+            "memory_rich",
+            "high_performance",
+        }
+
+    def test_unknown_signature_falls_back_to_signature_members(self):
+        reg = registry_with([(1, GENERAL, 10), (2, COMPUTE_RICH, 10)])
+        plan = build_plan(reg.groups(), default_space(), DEFAULT_RATES)
+        pref = plan.preference_for(frozenset({"compute_rich"}))
+        assert pref == ["compute_rich"]
+
+    def test_ordered_jobs_for_flattens_preference(self):
+        reg = registry_with(
+            [
+                (1, GENERAL, 5),
+                (2, GENERAL, 3),
+                (3, HIGH_PERFORMANCE, 4),
+            ]
+        )
+        plan = build_plan(reg.groups(), default_space(), DEFAULT_RATES)
+        ordered = plan.ordered_jobs_for(ATOM_HIGH)
+        # High-perf job first, then the general jobs by ascending demand.
+        assert ordered[0] == ("high_performance", 3)
+        assert [j for (_, j) in ordered[1:]] == [2, 1]
+
+
+class TestReallocation:
+    def test_longer_queue_with_scarce_allocation_steals_shared_atom(self):
+        """A group with a tiny exclusive allocation and a long queue should
+        pull the atoms it shares with a scarcer group (lines 10-23)."""
+        jobs = [(i, COMPUTE_RICH, 10) for i in range(8)]
+        jobs.append((100, HIGH_PERFORMANCE, 10))
+        reg = registry_with(jobs)
+        rates = {ATOM_LOW: 0.5, ATOM_CPU: 0.02, ATOM_MEM: 0.2, ATOM_HIGH: 0.2}
+        plan = build_plan(reg.groups(), default_space(), rates)
+        # compute_rich's queue/alloc ratio (8/0.02) far exceeds
+        # high_performance's (1/0.2), so compute_rich takes the shared atom.
+        assert plan.preference_for(ATOM_HIGH)[0] == "compute_rich"
+
+    def test_short_queue_does_not_steal(self):
+        jobs = [(1, COMPUTE_RICH, 10), (2, HIGH_PERFORMANCE, 10)]
+        reg = registry_with(jobs)
+        rates = {ATOM_LOW: 0.5, ATOM_CPU: 0.3, ATOM_MEM: 0.2, ATOM_HIGH: 0.05}
+        plan = build_plan(reg.groups(), default_space(), rates)
+        assert plan.preference_for(ATOM_HIGH)[0] == "high_performance"
+
+    def test_reallocate_false_keeps_initial_allocation(self):
+        jobs = [(i, COMPUTE_RICH, 10) for i in range(8)]
+        jobs.append((100, HIGH_PERFORMANCE, 10))
+        reg = registry_with(jobs)
+        rates = {ATOM_LOW: 0.5, ATOM_CPU: 0.02, ATOM_MEM: 0.2, ATOM_HIGH: 0.2}
+        plan = build_plan(reg.groups(), default_space(), rates, reallocate=False)
+        assert plan.preference_for(ATOM_HIGH)[0] == "high_performance"
+
+    def test_queue_length_override(self):
+        jobs = [(1, COMPUTE_RICH, 10), (2, HIGH_PERFORMANCE, 10)]
+        reg = registry_with(jobs)
+        rates = {ATOM_LOW: 0.5, ATOM_CPU: 0.02, ATOM_MEM: 0.2, ATOM_HIGH: 0.2}
+        plan = build_plan(
+            reg.groups(),
+            default_space(),
+            rates,
+            queue_lengths={"compute_rich": 50.0, "high_performance": 1.0},
+        )
+        assert plan.preference_for(ATOM_HIGH)[0] == "compute_rich"
+
+
+class TestPlanProperties:
+    @given(
+        demands=st.lists(
+            st.integers(min_value=1, max_value=500), min_size=1, max_size=20
+        ),
+        rates=st.tuples(
+            st.floats(min_value=0.0, max_value=1.0),
+            st.floats(min_value=0.0, max_value=1.0),
+            st.floats(min_value=0.0, max_value=1.0),
+            st.floats(min_value=0.0, max_value=1.0),
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_plan_invariants(self, demands, rates, seed):
+        """Properties that must hold for any job mix and supply estimate:
+
+        * every waiting job appears exactly once in its group's order;
+        * every atom's preference list contains only eligible groups, without
+          duplicates, and the owning group (if any) comes first;
+        * the group order contains every group exactly once.
+        """
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        reqs = list(DEFAULT_CATEGORIES)
+        jobs = [
+            (i, reqs[int(rng.integers(0, len(reqs)))], d)
+            for i, d in enumerate(demands)
+        ]
+        reg = registry_with(jobs)
+        atom_rates = {
+            ATOM_LOW: rates[0],
+            ATOM_CPU: rates[1],
+            ATOM_MEM: rates[2],
+            ATOM_HIGH: rates[3],
+        }
+        space = default_space()
+        plan = build_plan(reg.groups(), space, atom_rates)
+
+        group_keys = {g.key for g in reg.groups()}
+        assert set(plan.group_order) == group_keys
+        assert len(plan.group_order) == len(group_keys)
+
+        for group in reg.groups():
+            ordered = plan.job_order[group.key]
+            expected = {j for (j, r, _) in jobs if r.name == group.key}
+            assert set(ordered) == expected
+            assert len(ordered) == len(expected)
+
+        for atom, pref in plan.atom_preferences.items():
+            assert len(pref) == len(set(pref))
+            for key in pref:
+                assert key in atom or key in group_keys
+                # Eligibility: the atom must be eligible for the group.
+                assert atom in space.eligible_atoms(key) or key in atom
+
+    @given(
+        n_scarce=st.integers(min_value=1, max_value=10),
+        n_general=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scarce_only_group_always_reachable(self, n_scarce, n_general):
+        """A group whose requirement is strictly contained in another's must
+        always appear in the preference list of its atoms (it can never be
+        completely shut out by the containing group)."""
+        jobs = [(i, HIGH_PERFORMANCE, 10) for i in range(n_scarce)]
+        jobs += [(100 + i, GENERAL, 10) for i in range(n_general)]
+        reg = registry_with(jobs)
+        plan = build_plan(reg.groups(), default_space(), DEFAULT_RATES)
+        assert "high_performance" in plan.preference_for(ATOM_HIGH)

@@ -1,0 +1,194 @@
+"""Unit and property tests for Algorithm 2 (tier-based device matching)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import (
+    NO_TIER,
+    JobMatchingProfile,
+    TierDecision,
+    TierMatcher,
+    device_capacity_metric,
+)
+from tests.conftest import make_device
+
+
+def populate_profile(
+    profile: JobMatchingProfile,
+    speeds,
+    response_scale: float = 10.0,
+    rounds=((100.0, 50.0),),
+) -> None:
+    """Fill a profile with participants whose response time tracks speed."""
+    for i, s in enumerate(speeds):
+        device = make_device(device_id=i, speed=s)
+        profile.record_participation(device, response_time=response_scale * s)
+    for sched, resp in rounds:
+        profile.record_round(sched, resp)
+
+
+class TestDeviceCapacityMetric:
+    def test_faster_device_has_higher_metric(self):
+        fast = make_device(speed=0.5)
+        slow = make_device(speed=4.0)
+        assert device_capacity_metric(fast) > device_capacity_metric(slow)
+
+    @given(
+        s1=st.floats(min_value=0.1, max_value=10.0),
+        s2=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_metric_monotone_in_speed(self, s1, s2):
+        d1 = make_device(device_id=1, speed=s1)
+        d2 = make_device(device_id=2, speed=s2)
+        if s1 < s2:
+            assert device_capacity_metric(d1) > device_capacity_metric(d2)
+
+
+class TestTierDecision:
+    def test_no_tier_accepts_everything(self):
+        assert NO_TIER.accepts(make_device(speed=100.0))
+
+    def test_bounds_enforced(self):
+        decision = TierDecision(use_tier=True, tier_index=1, low=0.5, high=1.5)
+        assert decision.accepts(make_device(speed=1.0))  # metric ~1.0
+        assert not decision.accepts(make_device(speed=10.0))  # metric ~0.1
+
+
+class TestJobMatchingProfile:
+    def test_requires_valid_configuration(self):
+        with pytest.raises(ValueError):
+            JobMatchingProfile(num_tiers=0)
+        with pytest.raises(ValueError):
+            JobMatchingProfile(history=1)
+
+    def test_no_profile_until_rounds_recorded(self):
+        profile = JobMatchingProfile(num_tiers=4)
+        assert not profile.has_profile
+        assert profile.tier_thresholds() is None
+        assert profile.tier_speedups() is None
+
+    def test_negative_inputs_rejected(self):
+        profile = JobMatchingProfile()
+        with pytest.raises(ValueError):
+            profile.record_participation(make_device(), response_time=-1.0)
+        with pytest.raises(ValueError):
+            profile.record_round(-1.0, 5.0)
+
+    def test_thresholds_are_sorted_quantiles(self):
+        profile = JobMatchingProfile(num_tiers=4)
+        populate_profile(profile, speeds=np.linspace(0.5, 5.0, 40))
+        thresholds = profile.tier_thresholds()
+        assert thresholds is not None
+        assert len(thresholds) == 3
+        assert thresholds == sorted(thresholds)
+
+    def test_single_tier_has_no_thresholds(self):
+        profile = JobMatchingProfile(num_tiers=1)
+        populate_profile(profile, speeds=np.linspace(0.5, 5.0, 20))
+        assert profile.tier_thresholds() == []
+
+    def test_speedups_favor_fast_tier(self):
+        profile = JobMatchingProfile(num_tiers=4)
+        populate_profile(profile, speeds=np.linspace(0.5, 5.0, 200))
+        speedups = profile.tier_speedups()
+        assert speedups is not None and len(speedups) == 4
+        # Tier 3 contains the highest-capacity (fastest) devices, whose tail
+        # response time is far below the global tail.
+        assert speedups[3] < speedups[0]
+        assert speedups[3] < 1.0
+        assert all(s <= 1.0 + 1e-9 for s in speedups[3:])
+
+    def test_tier_bounds_partition_the_metric_axis(self):
+        profile = JobMatchingProfile(num_tiers=3)
+        populate_profile(profile, speeds=np.linspace(0.5, 5.0, 60))
+        lows, highs = [], []
+        for v in range(3):
+            low, high = profile.tier_bounds(v)
+            lows.append(low)
+            highs.append(high)
+            assert low < high
+        assert lows[0] == -math.inf
+        assert highs[-1] == math.inf
+        assert highs[0] == lows[1] and highs[1] == lows[2]
+
+    def test_tier_bounds_out_of_range(self):
+        profile = JobMatchingProfile(num_tiers=2)
+        populate_profile(profile, speeds=np.linspace(0.5, 5.0, 30))
+        with pytest.raises(IndexError):
+            profile.tier_bounds(5)
+
+    def test_response_to_schedule_ratio(self):
+        profile = JobMatchingProfile()
+        populate_profile(profile, speeds=[1.0] * 10, rounds=((100.0, 25.0),))
+        assert profile.response_to_schedule_ratio() == pytest.approx(0.25)
+
+    def test_zero_scheduling_delay_gives_infinite_ratio(self):
+        profile = JobMatchingProfile()
+        populate_profile(profile, speeds=[1.0] * 10, rounds=((0.0, 25.0),))
+        assert math.isinf(profile.response_to_schedule_ratio())
+
+
+class TestTierMatcher:
+    def test_no_decision_without_profile(self):
+        matcher = TierMatcher(num_tiers=4, rng=np.random.default_rng(0))
+        assert matcher.decide() == NO_TIER
+
+    def test_single_tier_never_restricts(self):
+        matcher = TierMatcher(num_tiers=1, rng=np.random.default_rng(0))
+        populate_profile(matcher.profile, speeds=np.linspace(0.5, 5.0, 50))
+        assert matcher.decide() == NO_TIER
+
+    def test_restricts_when_response_time_dominates(self):
+        """When c_i is huge (response time >> scheduling delay) and the tier
+        speed-up is real, the JCT test V + g*c < c + 1 passes for fast tiers."""
+        matcher = TierMatcher(num_tiers=2, rng=np.random.default_rng(3))
+        populate_profile(
+            matcher.profile,
+            speeds=np.linspace(0.5, 5.0, 200),
+            rounds=((1.0, 500.0),),  # c_i = 500
+        )
+        decisions = [matcher.decide() for _ in range(50)]
+        assert any(d.use_tier for d in decisions)
+        for d in decisions:
+            if d.use_tier:
+                assert 0 <= d.tier_index < 2
+                assert d.low < d.high
+
+    def test_never_restricts_when_scheduling_delay_dominates(self):
+        """When scheduling delay dominates (c_i small), tiering always loses."""
+        matcher = TierMatcher(num_tiers=4, rng=np.random.default_rng(3))
+        populate_profile(
+            matcher.profile,
+            speeds=np.linspace(0.5, 5.0, 200),
+            rounds=((1000.0, 10.0),),  # c_i = 0.01
+        )
+        assert all(not matcher.decide().use_tier for _ in range(50))
+
+    @given(
+        ci=st.floats(min_value=0.01, max_value=1000.0),
+        tiers=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_decision_consistent_with_jct_test(self, ci, tiers, seed):
+        """Property: whenever a tier is chosen, the Algorithm-2 inequality
+        V + g_u * c_i < c_i + 1 actually holds for the chosen tier."""
+        matcher = TierMatcher(num_tiers=tiers, rng=np.random.default_rng(seed))
+        populate_profile(
+            matcher.profile,
+            speeds=np.linspace(0.5, 5.0, 120),
+            rounds=((100.0, 100.0 * ci),),
+        )
+        speedups = matcher.profile.tier_speedups()
+        decision = matcher.decide()
+        if decision.use_tier:
+            g = speedups[decision.tier_index]
+            measured_ci = matcher.profile.response_to_schedule_ratio()
+            assert tiers + g * measured_ci < measured_ci + 1.0

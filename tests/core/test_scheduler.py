@@ -1,0 +1,222 @@
+"""Unit tests for the end-to-end Venn scheduling policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.requirements import GENERAL, HIGH_PERFORMANCE
+from repro.core.scheduler import VennScheduler
+from repro.core.types import ResourceRequest
+from tests.conftest import make_device, make_job
+
+
+def open_request(policy, job, now=0.0, request_id=None):
+    policy.on_job_arrival(job, now)
+    request = ResourceRequest(
+        request_id=request_id if request_id is not None else job.job_id,
+        job_id=job.job_id,
+        demand=job.demand_per_round,
+        submit_time=now,
+        deadline=now + job.round_deadline,
+        min_reports=job.min_reports,
+    )
+    policy.on_request_open(request, now)
+    return request
+
+
+def feed_checkins(policy, devices, start=0.0, step=1.0):
+    t = start
+    for d in devices:
+        policy.on_device_checkin(d, t)
+        t += step
+    return t
+
+
+class TestVennSchedulerConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            VennScheduler(num_tiers=0)
+        with pytest.raises(ValueError):
+            VennScheduler(demand_mode="banana")
+
+    def test_ablation_names(self):
+        assert VennScheduler().name == "venn"
+        assert VennScheduler(enable_scheduling=False).name == "venn_wo_sched"
+        assert VennScheduler(enable_matching=False).name == "venn_wo_match"
+
+
+class TestVennSchedulerAssignment:
+    def test_assign_none_without_requests(self):
+        sched = VennScheduler(seed=0)
+        assert sched.assign(make_device(), 0.0) is None
+
+    def test_scarce_device_goes_to_scarce_job(self):
+        """A high-performance device must serve the high-performance job even
+        when a general job with smaller demand is also waiting."""
+        sched = VennScheduler(seed=0)
+        open_request(sched, make_job(1, GENERAL, demand=5), request_id=1)
+        open_request(sched, make_job(2, HIGH_PERFORMANCE, demand=50), request_id=2)
+        # Observed supply: plenty of weak devices, few strong ones.
+        weak = [make_device(device_id=i, cpu=0.1, mem=0.1) for i in range(20)]
+        strong = [make_device(device_id=100 + i, cpu=0.9, mem=0.9) for i in range(2)]
+        feed_checkins(sched, weak + strong)
+        chosen = sched.assign(make_device(device_id=999, cpu=0.9, mem=0.9), now=30.0)
+        assert chosen.job_id == 2
+
+    def test_weak_device_goes_to_general_job(self):
+        sched = VennScheduler(seed=0)
+        open_request(sched, make_job(1, GENERAL, demand=5), request_id=1)
+        open_request(sched, make_job(2, HIGH_PERFORMANCE, demand=5), request_id=2)
+        feed_checkins(
+            sched, [make_device(device_id=i, cpu=0.2, mem=0.2) for i in range(5)]
+        )
+        chosen = sched.assign(make_device(device_id=999, cpu=0.2, mem=0.2), now=10.0)
+        assert chosen.job_id == 1
+
+    def test_intra_group_order_prefers_smaller_demand(self):
+        sched = VennScheduler(seed=0)
+        open_request(sched, make_job(1, GENERAL, demand=40, rounds=1), request_id=1)
+        open_request(sched, make_job(2, GENERAL, demand=3, rounds=1), request_id=2)
+        feed_checkins(sched, [make_device(device_id=i) for i in range(5)])
+        chosen = sched.assign(make_device(device_id=999), now=10.0)
+        assert chosen.job_id == 2
+
+    def test_demand_mode_round_uses_request_remaining(self):
+        sched = VennScheduler(seed=0, demand_mode="round")
+        # Job 1: huge total demand but tiny current round; job 2 the reverse.
+        r1 = open_request(sched, make_job(1, GENERAL, demand=3, rounds=50), request_id=1)
+        open_request(sched, make_job(2, GENERAL, demand=10, rounds=1), request_id=2)
+        feed_checkins(sched, [make_device(device_id=i) for i in range(5)])
+        chosen = sched.assign(make_device(device_id=999), now=10.0)
+        assert chosen.job_id == 1
+        assert r1.remaining_demand == 3  # not assigned by the engine here
+
+    def test_work_conserving_fallback_across_groups(self):
+        """When the owning group needs nothing, devices flow to other groups."""
+        sched = VennScheduler(seed=0)
+        open_request(sched, make_job(1, GENERAL, demand=5), request_id=1)
+        job2 = make_job(2, HIGH_PERFORMANCE, demand=1)
+        request2 = open_request(sched, job2, request_id=2)
+        request2.record_assignment(42, 1.0)  # high-perf demand satisfied
+        feed_checkins(sched, [make_device(device_id=i, cpu=0.9, mem=0.9) for i in range(3)])
+        chosen = sched.assign(make_device(device_id=999, cpu=0.9, mem=0.9), now=10.0)
+        assert chosen.job_id == 1
+
+    def test_assignment_respects_eligibility(self):
+        sched = VennScheduler(seed=0)
+        open_request(sched, make_job(1, HIGH_PERFORMANCE, demand=5), request_id=1)
+        weak = make_device(device_id=1, cpu=0.1, mem=0.1)
+        sched.on_device_checkin(weak, 0.0)
+        assert sched.assign(weak, 1.0) is None
+
+    def test_plan_rebuilt_on_request_events(self):
+        sched = VennScheduler(seed=0)
+        open_request(sched, make_job(1, GENERAL, demand=5), request_id=1)
+        sched.assign(make_device(device_id=1), 1.0)
+        rebuilds = sched.plan_rebuilds
+        request2 = open_request(sched, make_job(2, GENERAL, demand=5), request_id=2)
+        sched.assign(make_device(device_id=2), 2.0)
+        assert sched.plan_rebuilds > rebuilds
+        request2.state = request2.state.__class__.COMPLETED
+        sched.on_request_closed(request2, 3.0)
+        sched.assign(make_device(device_id=3), 4.0)
+        assert sched.plan_rebuilds > rebuilds + 1
+
+
+class TestVennSchedulerMatchingIntegration:
+    def _profiled_scheduler(self, ci_response=500.0, num_tiers=2):
+        """Scheduler with one job whose profile says response time dominates."""
+        sched = VennScheduler(seed=1, num_tiers=num_tiers)
+        job = make_job(1, GENERAL, demand=3, rounds=5)
+        request = open_request(sched, job, request_id=1)
+        matcher = sched._matchers[1]
+        for i, speed in enumerate(np.linspace(0.5, 5.0, 100)):
+            matcher.record_participation(
+                make_device(device_id=i, speed=float(speed)), response_time=10 * speed
+            )
+        matcher.record_round(1.0, ci_response)
+        return sched, request
+
+    def test_tier_decision_cached_per_request(self):
+        sched, request = self._profiled_scheduler()
+        sched.assign(make_device(device_id=500, speed=1.0), now=1.0)
+        assert request.request_id in sched._tier_decisions
+        first = sched._tier_decisions[request.request_id]
+        sched.assign(make_device(device_id=501, speed=1.0), now=2.0)
+        assert sched._tier_decisions[request.request_id] is first
+
+    def test_matching_disabled_never_restricts(self):
+        sched = VennScheduler(seed=1, enable_matching=False)
+        job = make_job(1, GENERAL, demand=3)
+        request = open_request(sched, job, request_id=1)
+        sched.assign(make_device(device_id=5), now=1.0)
+        assert not sched._tier_decisions[request.request_id].use_tier
+
+    def test_tier_restricted_device_still_assigned_as_fallback(self):
+        """A device outside the chosen tier is used as a fallback rather than
+        wasted when no other job can take it."""
+        sched, request = self._profiled_scheduler()
+        # Find a decision that actually uses a tier by retrying seeds.
+        decision = None
+        for _ in range(20):
+            sched._tier_decisions.clear()
+            sched.assign(make_device(device_id=600, speed=1.0), now=1.0)
+            decision = sched._tier_decisions[request.request_id]
+            if decision.use_tier:
+                break
+        if not decision.use_tier:
+            pytest.skip("rng never chose a beneficial tier")
+        # A device far outside any finite tier bound still gets assigned.
+        slow = make_device(device_id=601, speed=1000.0)
+        if decision.accepts(slow):
+            pytest.skip("chosen tier already accepts the slow device")
+        chosen = sched.assign(slow, now=2.0)
+        assert chosen is request
+
+    def test_on_response_updates_profile(self):
+        sched = VennScheduler(seed=0)
+        job = make_job(1, GENERAL, demand=2)
+        request = open_request(sched, job, request_id=1)
+        device = make_device(device_id=7)
+        sched.on_device_checkin(device, 0.0)
+        chosen = sched.assign(device, 1.0)
+        chosen.record_assignment(device.device_id, 1.0)
+        sched.on_response(request, device, 61.0)
+        profile = sched._matchers[1].profile
+        assert len(profile._response_times) == 1
+        assert profile._response_times[0] == pytest.approx(60.0)
+
+    def test_request_close_records_round_profile(self):
+        sched = VennScheduler(seed=0)
+        job = make_job(1, GENERAL, demand=1)
+        request = open_request(sched, job, request_id=1)
+        request.record_assignment(9, 5.0)
+        request.record_response(9, 20.0)
+        request.state = request.state.__class__.COMPLETED
+        request.close_time = 20.0
+        sched.on_request_closed(request, 20.0)
+        profile = sched._matchers[1].profile
+        assert profile.rounds_profiled == 1
+
+
+class TestVennSchedulerLifecycle:
+    def test_job_finish_cleans_up(self):
+        sched = VennScheduler(seed=0)
+        open_request(sched, make_job(1, GENERAL, demand=5), request_id=1)
+        sched.on_job_finished(1, 10.0)
+        assert 1 not in sched.jobs
+        assert 1 not in sched._matchers
+        assert not sched.fairness.is_tracked(1)
+        assert sched.assign(make_device(), 11.0) is None
+
+    def test_supply_checkins_feed_estimator(self):
+        sched = VennScheduler(seed=0)
+        sched.on_job_arrival(make_job(1, GENERAL, demand=5), 0.0)
+        feed_checkins(sched, [make_device(device_id=i) for i in range(10)])
+        assert sched.supply.total_checkins == 10
+
+    def test_rebuild_plan_with_no_jobs(self):
+        sched = VennScheduler(seed=0)
+        plan = sched.rebuild_plan(now=0.0)
+        assert plan.group_order == []

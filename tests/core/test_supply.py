@@ -1,0 +1,123 @@
+"""Unit and property tests for the supply estimator (§4.4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.supply import DEFAULT_WINDOW, SupplyEstimator
+
+SIG_A = frozenset({"general"})
+SIG_B = frozenset({"general", "high_performance"})
+
+
+class TestSupplyEstimator:
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SupplyEstimator(window=0)
+
+    def test_empty_estimator_rate_zero(self):
+        est = SupplyEstimator()
+        assert est.rate(SIG_A, now=100.0) == 0.0
+        assert est.total_checkins == 0
+
+    def test_basic_rate(self):
+        est = SupplyEstimator(window=100.0)
+        for t in range(10):
+            est.record_checkin(SIG_A, float(t * 10))
+        # 10 events over a 90-second observed span.
+        rate = est.rate(SIG_A, now=90.0)
+        assert rate == pytest.approx(10 / 90.0)
+
+    def test_rate_per_signature_is_independent(self):
+        est = SupplyEstimator(window=100.0)
+        est.record_checkin(SIG_A, 0.0)
+        est.record_checkin(SIG_B, 1.0)
+        est.record_checkin(SIG_A, 2.0)
+        assert est.count_in_window(SIG_A, 10.0) == 2
+        assert est.count_in_window(SIG_B, 10.0) == 1
+
+    def test_old_events_pruned(self):
+        est = SupplyEstimator(window=50.0)
+        est.record_checkin(SIG_A, 0.0)
+        est.record_checkin(SIG_A, 10.0)
+        est.record_checkin(SIG_A, 100.0)
+        assert est.count_in_window(SIG_A, 100.0) == 1
+
+    def test_out_of_order_rejected(self):
+        est = SupplyEstimator()
+        est.record_checkin(SIG_A, 50.0)
+        with pytest.raises(ValueError):
+            est.record_checkin(SIG_A, 10.0)
+
+    def test_rate_for_atoms_sums(self):
+        est = SupplyEstimator(window=100.0)
+        for t in range(0, 100, 10):
+            est.record_checkin(SIG_A if t % 20 == 0 else SIG_B, float(t))
+        total = est.rate_for_atoms([SIG_A, SIG_B], now=95.0)
+        assert total == pytest.approx(est.rate(SIG_A, 95.0) + est.rate(SIG_B, 95.0))
+
+    def test_rate_for_atoms_deduplicates(self):
+        est = SupplyEstimator(window=100.0)
+        est.record_checkin(SIG_A, 1.0)
+        one = est.rate_for_atoms([SIG_A], now=10.0)
+        two = est.rate_for_atoms([SIG_A, frozenset(SIG_A)], now=10.0)
+        assert one == pytest.approx(two)
+
+    def test_prior_rates_used_before_observations(self):
+        est = SupplyEstimator(window=100.0, prior_rates={SIG_A: 0.5})
+        assert est.rate(SIG_A, now=0.0) == pytest.approx(0.5)
+
+    def test_prior_blended_out_as_window_fills(self):
+        est = SupplyEstimator(window=100.0, prior_rates={SIG_A: 100.0})
+        for t in range(0, 100, 2):
+            est.record_checkin(SIG_A, float(t))
+        # Window almost full: the empirical rate (~0.5/s) should dominate the
+        # absurd prior of 100/s.
+        assert est.rate(SIG_A, now=99.0) < 10.0
+
+    def test_rates_returns_all_signatures(self):
+        est = SupplyEstimator(prior_rates={SIG_B: 0.1})
+        est.record_checkin(SIG_A, 5.0)
+        rates = est.rates(now=10.0)
+        assert SIG_A in rates and SIG_B in rates
+
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=200
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rate_is_nonnegative_and_bounded(self, times):
+        """Property: the rate never goes negative and never exceeds the
+        count of events divided by the minimum effective span (1 second)."""
+        est = SupplyEstimator(window=DEFAULT_WINDOW)
+        for t in sorted(times):
+            est.record_checkin(SIG_A, t)
+        now = max(times)
+        rate = est.rate(SIG_A, now)
+        assert rate >= 0.0
+        assert rate <= len(times)
+
+    @given(
+        n_a=st.integers(min_value=0, max_value=50),
+        n_b=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_more_checkins_means_higher_rate(self, n_a, n_b):
+        """Property: within one window, more check-ins => a larger rate."""
+        est = SupplyEstimator(window=1000.0)
+        t = 0.0
+        for i in range(n_a):
+            est.record_checkin(SIG_A, t)
+            t += 1.0
+        for i in range(n_b):
+            est.record_checkin(SIG_B, t)
+            t += 1.0
+        now = max(t, 1.0)
+        rate_a, rate_b = est.rate(SIG_A, now), est.rate(SIG_B, now)
+        if n_a > n_b:
+            assert rate_a >= rate_b
+        elif n_b > n_a:
+            assert rate_b >= rate_a

@@ -1,0 +1,141 @@
+"""Tests for the diurnal availability trace generator (Figure 2a)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.device_trace import (
+    DAY,
+    AvailabilitySession,
+    DeviceAvailabilityTrace,
+    DiurnalAvailabilityModel,
+    DiurnalConfig,
+    merge_traces,
+)
+
+
+class TestAvailabilitySession:
+    def test_duration(self):
+        s = AvailabilitySession(device_id=1, start=10.0, end=40.0)
+        assert s.duration == 30.0
+
+    def test_end_must_follow_start(self):
+        with pytest.raises(ValueError):
+            AvailabilitySession(device_id=1, start=10.0, end=10.0)
+
+
+class TestDiurnalConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalConfig(horizon=0)
+        with pytest.raises(ValueError):
+            DiurnalConfig(peak_availability=0.1, trough_availability=0.2)
+        with pytest.raises(ValueError):
+            DiurnalConfig(median_session=0)
+
+    def test_availability_oscillates_with_24h_period(self):
+        cfg = DiurnalConfig(peak_hour=2.0)
+        peak = cfg.availability_at(2 * 3600.0)
+        trough = cfg.availability_at(14 * 3600.0)
+        next_day_peak = cfg.availability_at(2 * 3600.0 + DAY)
+        assert peak > trough
+        assert peak == pytest.approx(next_day_peak)
+        assert peak == pytest.approx(cfg.peak_availability, abs=1e-6)
+        assert trough == pytest.approx(cfg.trough_availability, abs=1e-6)
+
+
+class TestDiurnalAvailabilityModel:
+    def test_requires_positive_population(self):
+        with pytest.raises(ValueError):
+            DiurnalAvailabilityModel(seed=0).generate(0)
+
+    def test_sessions_within_horizon_and_ordered(self):
+        cfg = DiurnalConfig(horizon=2 * DAY)
+        trace = DiurnalAvailabilityModel(cfg, seed=1).generate(100)
+        assert trace.num_devices <= 100
+        for s in trace.sessions:
+            assert 0.0 <= s.start < s.end <= cfg.horizon
+        events = trace.checkin_events()
+        assert events == sorted(events)
+
+    def test_per_device_sessions_do_not_overlap(self):
+        trace = DiurnalAvailabilityModel(DiurnalConfig(horizon=DAY), seed=2).generate(40)
+        for dev in range(40):
+            sessions = sorted(trace.sessions_of(dev), key=lambda s: s.start)
+            for a, b in zip(sessions, sessions[1:]):
+                assert a.end <= b.start
+
+    def test_determinism(self):
+        a = DiurnalAvailabilityModel(seed=5).generate(30)
+        b = DiurnalAvailabilityModel(seed=5).generate(30)
+        assert a.sessions == b.sessions
+
+    def test_average_availability_near_target(self):
+        cfg = DiurnalConfig(horizon=3 * DAY, peak_availability=0.3, trough_availability=0.12)
+        trace = DiurnalAvailabilityModel(cfg, seed=3).generate(800)
+        times, counts = trace.availability_curve(resolution=1800.0)
+        # Ignore the warm-up ramp (first half day).
+        steady = counts[times > DAY / 2] / 800.0
+        target_mid = (0.3 + 0.12) / 2
+        assert abs(float(np.mean(steady)) - target_mid) < 0.1
+
+    def test_diurnal_swing_visible(self):
+        """The availability curve should swing by well over 1.5x peak/trough."""
+        cfg = DiurnalConfig(horizon=3 * DAY)
+        trace = DiurnalAvailabilityModel(cfg, seed=4).generate(1000)
+        times, counts = trace.availability_curve(resolution=1800.0)
+        steady = counts[times > DAY]
+        assert steady.max() > 1.5 * max(steady.min(), 1.0)
+
+
+class TestAvailabilityCurveAndMerge:
+    def test_curve_resolution_validation(self):
+        trace = DeviceAvailabilityTrace(horizon=100.0)
+        with pytest.raises(ValueError):
+            trace.availability_curve(resolution=0)
+
+    def test_curve_counts_overlapping_sessions(self):
+        trace = DeviceAvailabilityTrace(
+            horizon=100.0,
+            sessions=[
+                AvailabilitySession(0, 0.0, 50.0),
+                AvailabilitySession(1, 25.0, 75.0),
+            ],
+        )
+        times, counts = trace.availability_curve(resolution=10.0)
+        assert counts.max() == 2
+        assert counts[0] == 1  # only device 0 online at t=0
+        assert counts[-1] == 0
+
+    def test_merge_traces(self):
+        t1 = DeviceAvailabilityTrace(
+            horizon=50.0, sessions=[AvailabilitySession(0, 0.0, 10.0)]
+        )
+        t2 = DeviceAvailabilityTrace(
+            horizon=100.0, sessions=[AvailabilitySession(1, 5.0, 20.0)]
+        )
+        merged = merge_traces([t1, t2])
+        assert merged.horizon == 100.0
+        assert len(merged.sessions) == 2
+        starts = [s.start for s in merged.sessions]
+        assert starts == sorted(starts)
+
+    def test_merge_requires_input(self):
+        with pytest.raises(ValueError):
+            merge_traces([])
+
+    @given(
+        n=st.integers(min_value=1, max_value=50),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_checkin_events_match_sessions(self, n, seed):
+        """Property: the event view is a lossless, sorted view of the sessions."""
+        trace = DiurnalAvailabilityModel(DiurnalConfig(horizon=DAY), seed=seed).generate(n)
+        events = trace.checkin_events()
+        assert len(events) == len(trace.sessions)
+        assert all(start < end for (start, _, end) in events)
+        assert [e[0] for e in events] == sorted(e[0] for e in events)

@@ -1,0 +1,237 @@
+"""Scalability sweep: events/sec and check-in latency vs device/job count.
+
+This is the benchmark behind the paper's ``max(O(m log m), O(n^2))``
+complexity claim at realistic scale: it sweeps synthetic traces of
+{1k, 10k, 100k, 1M} devices × {5, 50, 200} jobs through the simulator and
+records, per cell,
+
+* end-to-end events/sec of the simulation main loop,
+* p50/p99 latency of the policy's per-device ``assign`` decision, and
+* plan-rebuild counts (for Venn).
+
+Two code paths can be measured:
+
+* the default **indexed** fast path (``AtomIndex`` + signature-bucketed
+  idle pool + batched check-ins), and
+* the **legacy scan** path (``--legacy-scan``) reproducing the seed's
+  pre-index linear scans — policy-side ``use_index=False`` plus
+  ``SimulationConfig(indexed_dispatch=False)``.
+
+``--compare`` runs every cell on both paths and reports the speedup, which
+is the acceptance evidence for this PR (the 100k × 50 cell must show ≥ 5×).
+Results are written as a JSON artifact (``--output``).
+
+Examples
+--------
+Smoke test (seconds, used by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_scalability.py --smoke
+
+The acceptance cell::
+
+    PYTHONPATH=src python benchmarks/bench_scalability.py \
+        --devices 100000 --jobs 50 --horizon-hours 2 --compare \
+        --output benchmarks/out/scalability_100k.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:  # allow running without pip install / PYTHONPATH
+    sys.path.insert(0, _SRC)
+
+from repro.core.baselines import make_policy  # noqa: E402
+from repro.sim.engine import SimulationConfig, Simulator  # noqa: E402
+from repro.sim.latency import LatencyConfig  # noqa: E402
+from repro.traces.capacity import CapacitySampler  # noqa: E402
+from repro.traces.device_trace import (  # noqa: E402
+    DiurnalAvailabilityModel,
+    DiurnalConfig,
+)
+from repro.traces.workloads import WorkloadConfig, WorkloadGenerator  # noqa: E402
+
+
+class TimedPolicy:
+    """Transparent policy wrapper timing every ``assign`` decision."""
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.name = getattr(inner, "name", type(inner).__name__)
+        self.assign_latencies: List[float] = []
+
+    def assign(self, device, now):
+        t0 = time.perf_counter()
+        out = self._inner.assign(device, now)
+        self.assign_latencies.append(time.perf_counter() - t0)
+        return out
+
+    def __getattr__(self, item):
+        return getattr(self._inner, item)
+
+
+def build_cell(num_devices: int, num_jobs: int, horizon: float, seed: int):
+    """Synthesise devices, availability trace and workload for one cell."""
+    devices = CapacitySampler(seed=seed).sample_devices(num_devices)
+    trace = DiurnalAvailabilityModel(
+        DiurnalConfig(horizon=horizon), seed=seed + 1
+    ).generate(num_devices)
+    workload = WorkloadGenerator(
+        WorkloadConfig(
+            num_jobs=num_jobs,
+            # Size demand against the device pool so the workload stays
+            # contended for the whole horizon (jobs churn rounds and retries
+            # throughout) instead of finishing in the first simulated hours —
+            # a benchmark cell that drains early never stresses the check-in
+            # path at scale.
+            demand_scale=0.5,
+            min_demand=5,
+            max_demand=max(10, num_devices // 10),
+            rounds_scale=0.5,
+            max_rounds=25,
+            mean_interarrival=max(60.0, horizon / (2.0 * num_jobs)),
+        ),
+        seed=seed + 2,
+    ).generate()
+    return devices, trace, workload
+
+
+def run_cell(
+    num_devices: int,
+    num_jobs: int,
+    horizon: float,
+    seed: int,
+    policy_name: str,
+    indexed: bool,
+) -> Dict:
+    devices, trace, workload = build_cell(num_devices, num_jobs, horizon, seed)
+    kwargs = {}
+    if policy_name.startswith("venn"):
+        kwargs["use_index"] = indexed
+    policy = TimedPolicy(make_policy(policy_name, seed=seed, **kwargs))
+    config = SimulationConfig(
+        horizon=horizon,
+        seed=seed,
+        indexed_dispatch=indexed,
+        latency=LatencyConfig(),
+        max_events=200_000_000,
+    )
+    sim = Simulator(devices, trace, workload, policy, config)
+    t0 = time.perf_counter()
+    metrics = sim.run()
+    wall = time.perf_counter() - t0
+    lat = np.asarray(policy.assign_latencies, dtype=float)
+    cell = {
+        "devices": num_devices,
+        "jobs": num_jobs,
+        "horizon_s": horizon,
+        "policy": policy.name,
+        "path": "indexed" if indexed else "legacy-scan",
+        "wall_s": round(wall, 4),
+        "events": sim.events_processed,
+        "events_per_sec": round(sim.events_processed / max(wall, 1e-9), 1),
+        "checkins": metrics.total_checkins,
+        "assign_calls": int(lat.size),
+        "assign_p50_us": round(float(np.percentile(lat, 50)) * 1e6, 2) if lat.size else None,
+        "assign_p99_us": round(float(np.percentile(lat, 99)) * 1e6, 2) if lat.size else None,
+        "completion_rate": metrics.completion_rate,
+        "plan_rebuilds": getattr(policy, "plan_rebuilds", None),
+    }
+    return cell
+
+
+def parse_int_list(text: str) -> List[int]:
+    return [int(x) for x in text.replace(" ", "").split(",") if x]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--devices", default="1000,10000,100000,1000000",
+                        help="comma-separated device counts")
+    parser.add_argument("--jobs", default="5,50,200",
+                        help="comma-separated job counts")
+    parser.add_argument("--policy", default="venn",
+                        help="policy name (see repro.core.baselines.make_policy)")
+    parser.add_argument("--horizon-hours", type=float, default=24.0,
+                        help="simulated horizon per cell")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--legacy-scan", action="store_true",
+                        help="measure the pre-index linear-scan path only")
+    parser.add_argument("--compare", action="store_true",
+                        help="run each cell on both paths and report speedup")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sweep for CI (overrides sweep + horizon)")
+    parser.add_argument("--output", default="benchmarks/out/scalability.json")
+    args = parser.parse_args(argv)
+
+    device_counts = parse_int_list(args.devices)
+    job_counts = parse_int_list(args.jobs)
+    horizon = args.horizon_hours * 3600.0
+    if args.smoke:
+        device_counts, job_counts, horizon = [300], [4], 2 * 3600.0
+
+    cells: List[Dict] = []
+    for n_dev in device_counts:
+        for n_jobs in job_counts:
+            paths = [True, False] if (args.compare or args.smoke) else [
+                not args.legacy_scan
+            ]
+            pair: Dict[str, Dict] = {}
+            for indexed in paths:
+                label = "indexed" if indexed else "legacy-scan"
+                print(
+                    f"[cell] devices={n_dev} jobs={n_jobs} path={label} ...",
+                    file=sys.stderr, flush=True,
+                )
+                cell = run_cell(
+                    n_dev, n_jobs, horizon, args.seed, args.policy, indexed
+                )
+                pair[label] = cell
+                cells.append(cell)
+                print(
+                    f"[cell]   {cell['events_per_sec']:.0f} events/s, "
+                    f"p99 assign {cell['assign_p99_us']} us, "
+                    f"wall {cell['wall_s']:.1f} s",
+                    file=sys.stderr, flush=True,
+                )
+            if len(pair) == 2:
+                speedup = (
+                    pair["indexed"]["events_per_sec"]
+                    / max(pair["legacy-scan"]["events_per_sec"], 1e-9)
+                )
+                print(
+                    f"[cell] devices={n_dev} jobs={n_jobs} "
+                    f"speedup indexed/legacy = {speedup:.2f}x",
+                    file=sys.stderr, flush=True,
+                )
+                cells.append({
+                    "devices": n_dev, "jobs": n_jobs,
+                    "summary": "speedup", "events_per_sec_ratio": round(speedup, 3),
+                })
+
+    artifact = {
+        "benchmark": "bench_scalability",
+        "policy": args.policy,
+        "seed": args.seed,
+        "horizon_hours": horizon / 3600.0,
+        "smoke": bool(args.smoke),
+        "cells": cells,
+    }
+    out_path = args.output
+    os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
+    with open(out_path, "w") as fh:
+        json.dump(artifact, fh, indent=2)
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,7 @@ knob, the dynamic supply estimator — together with the baseline policies the
 evaluation compares against and the exact ILP formulation from Appendix B.
 """
 
+from .atom_index import AtomIndex
 from .baselines import (
     ClientDrivenRandomPolicy,
     FIFOPolicy,
@@ -51,6 +52,7 @@ from .types import (
 
 __all__ = [
     "Assignment",
+    "AtomIndex",
     "AtomSpace",
     "BasePolicy",
     "COMPUTE_RICH",

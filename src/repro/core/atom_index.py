@@ -1,0 +1,94 @@
+"""Precomputed device-signature -> candidate-job index over a scheduling plan.
+
+The paper's headline complexity claim — ``max(O(m log m), O(n^2))`` for
+Algorithm 1 with O(1)-ish work per device check-in — rests on the check-in
+path *consulting* the precomputed plan rather than re-deriving anything.
+The seed implementation still flattened the plan's per-atom group preference
+into a ``(group, job)`` candidate list on every call of
+:meth:`SchedulingPlan.ordered_jobs_for`, i.e. O(#groups × #jobs) list
+construction per check-in.
+
+:class:`AtomIndex` materialises that flattening exactly once per plan:
+
+* for every eligibility atom the plan knows about, the ordered tuple of
+  ``(group_key, job_id)`` candidates is precomputed at index-build time;
+* signatures the plan has never seen (devices with data domains the atom
+  space could not anticipate) are resolved through the same fallback rule as
+  the legacy scan — "every group whose requirement name is in the signature,
+  scarcest first" — and then memoised, so each unknown signature pays the
+  fallback cost once per plan instead of once per check-in.
+
+An index is immutable and tied to the plan it was built from; the scheduler
+drops it together with the plan on rebuild (job/request arrival and
+completion), which is exactly the invalidation discipline the paper
+describes for the plan itself.
+
+A crucial guarantee the index preserves: every candidate group key it yields
+for a signature is *contained in* that signature, so a device is eligible
+for every candidate job by construction and the check-in path may skip the
+per-job requirement re-check.  Property-based tests
+(``tests/core/test_irs_properties.py``) assert both this containment and
+decision-equality with the legacy linear scan on randomised plans.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from .requirements import AtomSignature
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .irs import SchedulingPlan
+
+#: A flattened candidate list: ``(group_key, job_id)`` in plan order.
+CandidateList = Tuple[Tuple[str, int], ...]
+
+
+class AtomIndex:
+    """Immutable signature -> ordered candidate-job index for one plan."""
+
+    __slots__ = ("_known", "_fallback_cache", "_group_jobs", "_group_order")
+
+    def __init__(self, plan: "SchedulingPlan") -> None:
+        #: Per-group candidate tuples, flattened once.
+        self._group_jobs: Dict[str, CandidateList] = {
+            key: tuple((key, job_id) for job_id in jobs)
+            for key, jobs in plan.job_order.items()
+        }
+        self._group_order: Tuple[str, ...] = tuple(plan.group_order)
+        #: Precomputed candidates for every atom the plan anticipated.
+        self._known: Dict[AtomSignature, CandidateList] = {
+            atom: self._flatten(pref)
+            for atom, pref in plan.atom_preferences.items()
+        }
+        #: Memo for signatures outside the anticipated atom space.
+        self._fallback_cache: Dict[AtomSignature, CandidateList] = {}
+
+    def _flatten(self, group_keys: List[str]) -> CandidateList:
+        out: List[Tuple[str, int]] = []
+        for key in group_keys:
+            out.extend(self._group_jobs.get(key, ()))
+        return tuple(out)
+
+    def candidates(self, signature: AtomSignature) -> CandidateList:
+        """Ordered ``(group_key, job_id)`` candidates for ``signature``.
+
+        O(1) for known atoms; unknown signatures are resolved with the legacy
+        fallback rule and memoised for the lifetime of the plan.
+        """
+        sig = frozenset(signature)
+        hit = self._known.get(sig)
+        if hit is not None:
+            return hit
+        hit = self._fallback_cache.get(sig)
+        if hit is None:
+            hit = self._flatten([k for k in self._group_order if k in sig])
+            self._fallback_cache[sig] = hit
+        return hit
+
+    @property
+    def num_known_atoms(self) -> int:
+        return len(self._known)
+
+
+__all__ = ["AtomIndex", "CandidateList"]

@@ -31,7 +31,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from .policy import BasePolicy
+from .policy import BasePolicy, SeededRngMixin
 from .types import DeviceProfile, JobSpec, ResourceRequest
 
 
@@ -80,7 +80,7 @@ class SRSFPolicy(_OrderedPolicy):
         return float(self.remaining_job_demand(job_id))
 
 
-class RandomMatchingPolicy(_OrderedPolicy):
+class RandomMatchingPolicy(SeededRngMixin, _OrderedPolicy):
     """The paper's optimized Random baseline.
 
     Devices are offered to eligible jobs following a randomized job order
@@ -95,7 +95,7 @@ class RandomMatchingPolicy(_OrderedPolicy):
 
     def __init__(self, seed: Optional[int] = None) -> None:
         super().__init__()
-        self._rng = np.random.default_rng(seed)
+        self._init_rng(seed)
         self._priorities: dict = {}
 
     def on_job_arrival(self, job: JobSpec, now: float) -> None:
@@ -115,7 +115,7 @@ class RandomMatchingPolicy(_OrderedPolicy):
         return self._priorities.get(job_id, 1.0)
 
 
-class UniformRandomPolicy(BasePolicy):
+class UniformRandomPolicy(SeededRngMixin, BasePolicy):
     """Meta-style centralised random matching.
 
     Every checked-in device is matched uniformly at random with one of the
@@ -127,7 +127,7 @@ class UniformRandomPolicy(BasePolicy):
 
     def __init__(self, seed: Optional[int] = None) -> None:
         super().__init__()
-        self._rng = np.random.default_rng(seed)
+        self._init_rng(seed)
 
     def assign(
         self, device: DeviceProfile, now: float
@@ -151,7 +151,7 @@ class ClientDrivenRandomPolicy(UniformRandomPolicy):
     name = "client_driven_random"
 
 
-class JobDrivenRandomPolicy(BasePolicy):
+class JobDrivenRandomPolicy(SeededRngMixin, BasePolicy):
     """Google-style job-driven matching.
 
     Each job independently samples from the available devices.  Jobs with a
@@ -164,7 +164,7 @@ class JobDrivenRandomPolicy(BasePolicy):
 
     def __init__(self, seed: Optional[int] = None) -> None:
         super().__init__()
-        self._rng = np.random.default_rng(seed)
+        self._init_rng(seed)
 
     def assign(
         self, device: DeviceProfile, now: float

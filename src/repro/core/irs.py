@@ -25,8 +25,24 @@ The three phases of Algorithm 1 map to the three private helpers:
    (lines 5-9);
 3. *reallocation of intersected resources* — resource-rich groups may claim
    atoms they share with scarcer groups when their (queue length / allocated
-   supply) ratio is higher, i.e. when doing so lowers the average scheduling
-   delay (lines 10-23, justified in Appendix D).
+   supply) ratio is higher **and** the move lowers the summed
+   queue-length/supply ratio of the two groups involved, i.e. when doing so
+   lowers the average scheduling delay (lines 10-23, justified in
+   Appendix D).  Atoms only ever move from the donor to the claimant, so the
+   atom-to-group assignment remains a partition throughout.
+
+Check-in fast path
+------------------
+
+At device check-in time the plan is consulted through its
+:class:`~repro.core.atom_index.AtomIndex` (:meth:`SchedulingPlan.index`):
+the index maps a device's :data:`~repro.core.requirements.AtomSignature`
+straight to the precomputed, ordered tuple of ``(group, job)`` candidates,
+so a check-in costs a dictionary lookup plus a walk over candidates instead
+of re-flattening group preference lists.  The index is built lazily once per
+plan and dies with the plan on rebuild.  :meth:`SchedulingPlan.ordered_jobs_for`
+retains the original linear flattening and serves as the reference
+("legacy scan") implementation for benchmarks and equivalence tests.
 """
 
 from __future__ import annotations
@@ -34,11 +50,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
+from .atom_index import AtomIndex
 from .job_group import JobGroup
 from .requirements import AtomSignature, AtomSpace
 
 #: Guard for divisions by (near-)zero supply rates.
 _EPS = 1e-12
+
+
+def _effective_rate(alloc: "GroupAllocation") -> float:
+    """Denominator of a group's queue/supply ratio.
+
+    A group whose exclusive allocation was reallocated away is still served
+    from its full eligible supply as leftovers (it stays in every atom's
+    preference list), so its ratio falls back to the eligible supply rate.
+    """
+    return (
+        alloc.allocated_rate if alloc.allocated_rate > _EPS else alloc.supply_rate
+    )
 
 
 @dataclass
@@ -81,6 +110,21 @@ class SchedulingPlan:
     job_order: Dict[str, List[int]] = field(default_factory=dict)
     atom_preferences: Dict[AtomSignature, List[str]] = field(default_factory=dict)
     allocations: Dict[str, GroupAllocation] = field(default_factory=dict)
+    #: Lazily-built check-in index (see :meth:`index`); never compared.
+    _index: Optional[AtomIndex] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def index(self) -> AtomIndex:
+        """The signature -> candidate-job index for this plan.
+
+        Built lazily on first use and cached; because a fresh plan object is
+        produced on every rebuild, the cache is invalidated together with
+        the plan.  Callers must not mutate the plan after indexing.
+        """
+        if self._index is None:
+            self._index = AtomIndex(self)
+        return self._index
 
     def preference_for(self, signature: AtomSignature) -> List[str]:
         """Ordered group keys a device with ``signature`` should be offered to.
@@ -199,23 +243,37 @@ def build_plan(
         ]
         for k_key in donors:
             alloc_k = allocations[k_key]
-            ratio_j = alloc_j.queue_length / max(alloc_j.allocated_rate, _EPS)
-            denom_k = (
-                alloc_k.allocated_rate
-                if alloc_k.allocated_rate > _EPS
-                else alloc_k.supply_rate
-            )
-            ratio_k = alloc_k.queue_length / max(denom_k, _EPS)
+            ratio_j = alloc_j.queue_length / max(_effective_rate(alloc_j), _EPS)
+            ratio_k = alloc_k.queue_length / max(_effective_rate(alloc_k), _EPS)
             if ratio_j > ratio_k:
-                shared = eligible_atoms[j_key] & eligible_atoms[k_key]
+                # The intersected resources S_j ∩ S'_k: only atoms the donor
+                # actually owns may move, so the allocation stays a partition.
+                shared = eligible_atoms[j_key] & alloc_k.allocated_atoms
+                if not shared:
+                    continue
+                shared_rate = sum(rates.get(a, 0.0) for a in shared)
+                rate_j_after = alloc_j.allocated_rate + shared_rate
+                rate_k_after = alloc_k.allocated_rate - shared_rate
+                after_j = alloc_j.queue_length / max(
+                    rate_j_after if rate_j_after > _EPS else alloc_j.supply_rate,
+                    _EPS,
+                )
+                after_k = alloc_k.queue_length / max(
+                    rate_k_after if rate_k_after > _EPS else alloc_k.supply_rate,
+                    _EPS,
+                )
+                if after_j + after_k > ratio_j + ratio_k:
+                    # Appendix D: commit the transfer only when it lowers the
+                    # summed queue/supply ratio (i.e. the average scheduling
+                    # delay) of the two groups involved.  Both sides of the
+                    # comparison use the same effective-rate convention as
+                    # :func:`_effective_rate`, so the global objective is
+                    # monotonically non-increasing across transfers.
+                    continue
                 alloc_j.allocated_atoms |= shared
-                alloc_k.allocated_atoms -= alloc_j.allocated_atoms
-                alloc_j.allocated_rate = sum(
-                    rates.get(a, 0.0) for a in alloc_j.allocated_atoms
-                )
-                alloc_k.allocated_rate = sum(
-                    rates.get(a, 0.0) for a in alloc_k.allocated_atoms
-                )
+                alloc_k.allocated_atoms -= shared
+                alloc_j.allocated_rate += shared_rate
+                alloc_k.allocated_rate = max(0.0, rate_k_after)
             else:
                 # Line 19: if this group still needs more resources it should
                 # take them from more abundant groups first, so stop here.

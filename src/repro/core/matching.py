@@ -17,6 +17,11 @@ round even if acquiring them takes slightly longer.  Venn therefore:
 
 Devices outside the chosen tier are not wasted: they flow to the next job in
 the group's order, which the Venn scheduler handles at assignment time.
+
+The random tier pick draws from the :class:`numpy.random.Generator` injected
+at construction — the Venn scheduler passes its own, which in turn is either
+its explicit seed or the simulation engine's single run generator (via
+``bind_rng``), so one seed reproduces a run bit-for-bit.
 """
 
 from __future__ import annotations

@@ -24,6 +24,8 @@ from __future__ import annotations
 import abc
 from typing import Dict, Iterable, List, Optional
 
+import numpy as np
+
 from .requirements import EligibilityRequirement
 from .types import DeviceProfile, JobSpec, ResourceRequest
 
@@ -73,6 +75,33 @@ class SchedulingPolicy(abc.ABC):
 
         Optional hook used by policies that track supply (Venn).
         """
+
+    def bind_rng(self, rng: "np.random.Generator") -> None:
+        """Adopt the simulation's random generator (seed plumbing).
+
+        The engine calls this once, before any event is processed, so that a
+        single injected :class:`numpy.random.Generator` drives every random
+        draw in a run.  Policies that were constructed with an explicit seed
+        keep their own generator; policies without one adopt ``rng``.  The
+        default implementation ignores it (deterministic policies).
+        """
+
+
+class SeededRngMixin:
+    """Seed-ownership protocol shared by every policy that draws randomness.
+
+    A policy constructed with an explicit seed keeps its own generator; one
+    constructed without adopts the simulation engine's single run generator
+    when the engine calls :meth:`bind_rng`.
+    """
+
+    def _init_rng(self, seed: Optional[int]) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._rng_owned = seed is not None
+
+    def bind_rng(self, rng: np.random.Generator) -> None:
+        if not self._rng_owned:
+            self._rng = rng
 
 
 class BasePolicy(SchedulingPolicy):
@@ -132,18 +161,31 @@ class BasePolicy(SchedulingPolicy):
     def eligible_open_requests(
         self, device: DeviceProfile
     ) -> List[ResourceRequest]:
-        """Open, unsatisfied requests whose job may use ``device``."""
+        """Open, unsatisfied requests whose job may use ``device``.
+
+        Eligibility is evaluated once per *requirement* rather than once per
+        job: jobs sharing a requirement are resource-homogeneous, so the
+        per-check-in cost is O(#jobs + #distinct requirements) dictionary
+        work instead of O(#jobs) predicate evaluations.
+        """
         out: List[ResourceRequest] = []
+        # Keyed by the (frozen, hashable) requirement object itself, so two
+        # jobs whose requirements merely share a name never alias.
+        eligible_memo: Dict[EligibilityRequirement, bool] = {}
         for job_id, request in self.open_requests.items():
             if request.remaining_demand <= 0:
                 continue
-            if device.device_id in request.assigned:
+            if request.is_assigned(device.device_id):
                 # One device participates at most once per round request.
                 continue
             job = self.jobs.get(job_id)
             if job is None:
                 continue
-            if job.requirement.is_eligible(device):
+            requirement = job.requirement
+            ok = eligible_memo.get(requirement)
+            if ok is None:
+                ok = eligible_memo[requirement] = requirement.is_eligible(device)
+            if ok:
                 out.append(request)
         return out
 
@@ -170,4 +212,4 @@ class BasePolicy(SchedulingPolicy):
         return seen.values()
 
 
-__all__ = ["BasePolicy", "SchedulingPolicy"]
+__all__ = ["BasePolicy", "SchedulingPolicy", "SeededRngMixin"]

@@ -14,8 +14,12 @@
   jobs.
 
 The plan is recomputed on job/request arrival and completion — exactly the
-trigger points named in the paper — and consulted in O(#groups) per device
-check-in.
+trigger points named in the paper — and consulted at device check-in through
+the plan's :class:`~repro.core.atom_index.AtomIndex`: the device's cached
+atom signature resolves to a precomputed candidate tuple, so a check-in is
+a dictionary lookup plus a walk over the (usually short) candidate prefix.
+The pre-index linear scan is retained behind ``use_index=False`` for
+benchmarks (``--legacy-scan``) and decision-equivalence tests.
 """
 
 from __future__ import annotations
@@ -28,13 +32,13 @@ from .fairness import FairnessController
 from .irs import SchedulingPlan, build_plan
 from .job_group import JobGroupRegistry
 from .matching import NO_TIER, TierDecision, TierMatcher
-from .policy import BasePolicy
+from .policy import BasePolicy, SeededRngMixin
 from .requirements import AtomSpace
 from .supply import DEFAULT_WINDOW, SupplyEstimator
 from .types import DeviceProfile, JobSpec, ResourceRequest
 
 
-class VennScheduler(BasePolicy):
+class VennScheduler(SeededRngMixin, BasePolicy):
     """Contention-aware scheduling + resource-aware matching (the paper's Venn).
 
     Parameters
@@ -64,7 +68,15 @@ class VennScheduler(BasePolicy):
         Optional callable ``JobSpec -> seconds`` used by the fairness
         controller for the contention-free JCT ``sd_i``.
     seed:
-        Seed of the RNG used for Algorithm 2's random tier choice.
+        Seed of the RNG used for Algorithm 2's random tier choice.  When
+        ``None``, the scheduler adopts the simulation's injected generator
+        via :meth:`bind_rng`.
+    use_index:
+        When ``True`` (default) device check-ins are resolved through the
+        plan's precomputed :class:`~repro.core.atom_index.AtomIndex` and a
+        per-device signature cache.  ``False`` restores the pre-index linear
+        scan (same decisions, strictly more work per check-in) for
+        apples-to-apples benchmarking.
     """
 
     name = "venn"
@@ -80,6 +92,7 @@ class VennScheduler(BasePolicy):
         demand_mode: str = "total",
         solo_jct_estimator: Optional[Callable[[JobSpec], float]] = None,
         seed: Optional[int] = None,
+        use_index: bool = True,
     ) -> None:
         super().__init__()
         if num_tiers < 1:
@@ -91,12 +104,15 @@ class VennScheduler(BasePolicy):
         self.enable_matching = bool(enable_matching)
         self.enable_reallocation = bool(enable_reallocation)
         self.demand_mode = demand_mode
+        self.use_index = bool(use_index)
         self.supply = SupplyEstimator(window=supply_window)
         self.fairness = FairnessController(
             epsilon=epsilon, solo_jct_estimator=solo_jct_estimator
         )
-        self._rng = np.random.default_rng(seed)
+        self._init_rng(seed)
         self._atom_space: Optional[AtomSpace] = None
+        #: device_id -> cached atom signature (valid for the current space).
+        self._signature_cache: Dict[int, "frozenset"] = {}
         self._plan: SchedulingPlan = SchedulingPlan()
         self._plan_dirty = True
         self._matchers: Dict[int, TierMatcher] = {}
@@ -123,6 +139,7 @@ class VennScheduler(BasePolicy):
             rng=self._rng,
         )
         self._atom_space = None  # requirements changed, rebuild lazily
+        self._signature_cache.clear()
         self._plan_dirty = True
 
     def on_job_finished(self, job_id: int, now: float) -> None:
@@ -130,6 +147,7 @@ class VennScheduler(BasePolicy):
         self.fairness.forget_job(job_id)
         self._matchers.pop(job_id, None)
         self._atom_space = None
+        self._signature_cache.clear()
         self._plan_dirty = True
 
     def on_request_open(self, request: ResourceRequest, now: float) -> None:
@@ -151,8 +169,7 @@ class VennScheduler(BasePolicy):
         self._plan_dirty = True
 
     def on_device_checkin(self, device: DeviceProfile, now: float) -> None:
-        space = self._ensure_atom_space()
-        self.supply.record_checkin(space.signature(device), now)
+        self.supply.record_checkin(self._signature_for(device), now)
 
     def on_response(
         self, request: ResourceRequest, device: DeviceProfile, now: float
@@ -160,11 +177,7 @@ class VennScheduler(BasePolicy):
         matcher = self._matchers.get(request.job_id)
         if matcher is None:
             return
-        assigned_at = None
-        for dev_id, t in zip(request.assigned, request.assigned_times):
-            if dev_id == device.device_id:
-                assigned_at = t
-                break
+        assigned_at = request.assigned_time_of(device.device_id)
         if assigned_at is None:
             return
         matcher.record_participation(device, max(0.0, now - assigned_at))
@@ -188,6 +201,23 @@ class VennScheduler(BasePolicy):
                 }
                 self._atom_space.observe_signature(frozenset(known))
         return self._atom_space
+
+    def _signature_for(self, device: DeviceProfile):
+        """Atom signature of ``device``, cached per device id.
+
+        Device profiles are immutable and the cache is cleared whenever the
+        requirement set (and therefore the atom space) changes, so cached
+        signatures are always exact.  The legacy scan path bypasses the
+        cache to reproduce the pre-index per-check-in cost.
+        """
+        space = self._ensure_atom_space()
+        if not self.use_index:
+            return space.signature(device)
+        sig = self._signature_cache.get(device.device_id)
+        if sig is None:
+            sig = space.signature(device)
+            self._signature_cache[device.device_id] = sig
+        return sig
 
     def _intra_group_demand(self, job_id: int) -> float:
         """Demand metric for the intra-group ordering (§4.2.1).
@@ -273,19 +303,28 @@ class VennScheduler(BasePolicy):
             return None
         if self._plan_dirty:
             self.rebuild_plan(now)
-        space = self._ensure_atom_space()
-        signature = space.signature(device)
+        signature = self._signature_for(device)
+        if self.use_index:
+            # Indexed fast path: the precomputed candidate tuple only lists
+            # groups contained in the signature, so every candidate job is
+            # eligible by construction and no per-job requirement re-check
+            # is needed.
+            candidates = self._plan.index().candidates(signature)
+        else:
+            candidates = self._plan.ordered_jobs_for(signature)
         fallback: Optional[ResourceRequest] = None
-        for _group_key, job_id in self._plan.ordered_jobs_for(signature):
+        device_id = device.device_id
+        for _group_key, job_id in candidates:
             request = self.open_requests.get(job_id)
             if request is None or not request.is_open or request.remaining_demand <= 0:
                 continue
-            if device.device_id in request.assigned:
+            if request.is_assigned(device_id):
                 # One device participates at most once per round request.
                 continue
-            job = self.jobs.get(job_id)
-            if job is None or not job.requirement.is_eligible(device):
-                continue
+            if not self.use_index:
+                job = self.jobs.get(job_id)
+                if job is None or not job.requirement.is_eligible(device):
+                    continue
             decision = self._tier_decision_for(request)
             if decision.accepts(device):
                 return request

@@ -1,29 +1,38 @@
 """Dynamic resource-supply estimation (paper §4.4).
 
-Venn keeps a time-series record of device check-ins per eligibility atom and
-queries the *average* eligible-device arrival rate over a trailing window
-(24 hours by default).  Averaging over a full diurnal period makes the
-scheduler "far-sighted": momentary dips or spikes in device availability do
-not flip the scheduling order.
+Venn tracks device check-ins per eligibility atom and queries the *average*
+eligible-device arrival rate over a trailing window (24 hours by default).
+Averaging over a full diurnal period makes the scheduler "far-sighted":
+momentary dips or spikes in device availability do not flip the scheduling
+order.
 
-The estimator is deliberately simple: an append-only list of (time,
-signature) events per atom with lazy pruning.  Query cost is amortised O(1)
-per event and the memory footprint is bounded by the window length.
+The estimator is an incremental *streaming* one: check-ins are accumulated
+into coarse time buckets (a ring of ``num_buckets`` buckets spanning the
+window) and a running per-atom count is maintained as buckets enter and
+leave the window.  Recording a check-in is amortised O(1), querying a rate
+is O(1), and the memory footprint is O(num_buckets) per atom — independent
+of the number of devices or check-ins, which is what lets the estimator
+keep up with million-device traces.  The only approximation versus an exact
+sliding window is that events age out at bucket granularity
+(``window / num_buckets``, 5-6 minutes for the default 24 h window).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Deque, Dict, Iterable, Mapping, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from .requirements import AtomSignature
 
 #: Seconds in the default averaging window (24 hours, per the paper).
 DEFAULT_WINDOW = 24 * 3600.0
 
+#: Default number of time buckets the window is divided into.
+DEFAULT_NUM_BUCKETS = 256
+
 
 class SupplyEstimator:
-    """Sliding-window estimator of device arrival rates per eligibility atom.
+    """Streaming sliding-window estimator of device arrival rates per atom.
 
     Parameters
     ----------
@@ -37,17 +46,30 @@ class SupplyEstimator:
         window has filled once).  Workload generators can seed this from the
         capacity distribution so that the very first scheduling decisions are
         already contention-aware.
+    num_buckets:
+        Number of time buckets the window is divided into.  More buckets
+        track an exact sliding window more closely; fewer buckets use less
+        memory.  Events leave the window at ``window / num_buckets``
+        granularity.
     """
 
     def __init__(
         self,
         window: float = DEFAULT_WINDOW,
         prior_rates: Optional[Mapping[AtomSignature, float]] = None,
+        num_buckets: int = DEFAULT_NUM_BUCKETS,
     ) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
+        if num_buckets <= 0:
+            raise ValueError("num_buckets must be positive")
         self.window = float(window)
-        self._events: Dict[AtomSignature, Deque[float]] = defaultdict(deque)
+        self.num_buckets = int(num_buckets)
+        self._bucket_width = self.window / self.num_buckets
+        #: Per-atom ring of ``[bucket_index, count]`` pairs, oldest first.
+        self._buckets: Dict[AtomSignature, Deque[List[int]]] = defaultdict(deque)
+        #: Per-atom running count of check-ins inside the window.
+        self._counts: Dict[AtomSignature, int] = defaultdict(int)
         self._prior: Dict[AtomSignature, float] = (
             {frozenset(k): float(v) for k, v in prior_rates.items()}
             if prior_rates
@@ -61,14 +83,25 @@ class SupplyEstimator:
     # Recording
     # ------------------------------------------------------------------ #
     def record_checkin(self, signature: AtomSignature, now: float) -> None:
-        """Record one device check-in with eligibility ``signature``."""
+        """Record one device check-in with eligibility ``signature``.
+
+        Amortised O(1): the check-in lands in the current time bucket, and
+        buckets that aged out of the window are retired from the running
+        count as a side effect.
+        """
         sig = frozenset(signature)
         if self._last_event_time is not None and now < self._last_event_time:
             raise ValueError(
                 f"check-ins must be recorded in time order "
                 f"(got {now} after {self._last_event_time})"
             )
-        self._events[sig].append(now)
+        bucket = int(now // self._bucket_width)
+        ring = self._buckets[sig]
+        if ring and ring[-1][0] == bucket:
+            ring[-1][1] += 1
+        else:
+            ring.append([bucket, 1])
+        self._counts[sig] += 1
         if self._first_event_time is None:
             self._first_event_time = now
         self._last_event_time = now
@@ -76,17 +109,21 @@ class SupplyEstimator:
         self._prune(sig, now)
 
     def _prune(self, sig: AtomSignature, now: float) -> None:
+        """Retire buckets that lie entirely before ``now - window``."""
         horizon = now - self.window
-        events = self._events[sig]
-        while events and events[0] < horizon:
-            events.popleft()
+        ring = self._buckets.get(sig)
+        if not ring:
+            return
+        width = self._bucket_width
+        while ring and (ring[0][0] + 1) * width <= horizon:
+            self._counts[sig] -= ring.popleft()[1]
 
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
     def observed_signatures(self) -> Tuple[AtomSignature, ...]:
         """Signatures seen so far (plus any seeded priors)."""
-        sigs = set(self._events) | set(self._prior)
+        sigs = set(self._buckets) | set(self._prior)
         return tuple(sigs)
 
     def _effective_span(self, now: float) -> float:
@@ -106,8 +143,7 @@ class SupplyEstimator:
         sig = frozenset(signature)
         self._prune(sig, now)
         span = self._effective_span(now)
-        count = len(self._events.get(sig, ()))
-        empirical = count / span
+        empirical = self._counts.get(sig, 0) / span
         prior = self._prior.get(sig)
         if prior is None:
             return empirical
@@ -125,10 +161,14 @@ class SupplyEstimator:
         return {sig: self.rate(sig, now) for sig in self.observed_signatures()}
 
     def count_in_window(self, signature: AtomSignature, now: float) -> int:
-        """Raw number of check-ins for ``signature`` inside the window."""
+        """Number of check-ins for ``signature`` inside the window.
+
+        Exact up to bucket granularity: events in a partially-expired bucket
+        are still counted until the whole bucket ages out.
+        """
         sig = frozenset(signature)
         self._prune(sig, now)
-        return len(self._events.get(sig, ()))
+        return self._counts.get(sig, 0)
 
     @property
     def total_checkins(self) -> int:
@@ -136,4 +176,4 @@ class SupplyEstimator:
         return self._total_checkins
 
 
-__all__ = ["DEFAULT_WINDOW", "SupplyEstimator"]
+__all__ = ["DEFAULT_NUM_BUCKETS", "DEFAULT_WINDOW", "SupplyEstimator"]

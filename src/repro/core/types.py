@@ -178,6 +178,10 @@ class ResourceRequest:
     state: RequestState = RequestState.PENDING
     #: Device ids assigned so far (in assignment order).
     assigned: list = field(default_factory=list)
+    #: ``device_id -> assignment time`` for O(1) membership tests and time
+    #: lookups on the check-in/response hot paths (kept in sync by
+    #: :meth:`record_assignment`).
+    assigned_ids: dict = field(default_factory=dict)
     #: Assignment times corresponding to ``assigned``.
     assigned_times: list = field(default_factory=list)
     #: Device ids that reported back, with report times.
@@ -196,17 +200,26 @@ class ResourceRequest:
     def is_open(self) -> bool:
         return self.state in (RequestState.PENDING, RequestState.COLLECTING)
 
+    def is_assigned(self, device_id: int) -> bool:
+        """O(1) test whether ``device_id`` is already assigned here."""
+        return device_id in self.assigned_ids
+
+    def assigned_time_of(self, device_id: int) -> Optional[float]:
+        """O(1) lookup of when ``device_id`` was assigned, if it was."""
+        return self.assigned_ids.get(device_id)
+
     def record_assignment(self, device_id: int, now: float) -> None:
         """Record that ``device_id`` was matched to this request at ``now``."""
         if not self.is_open:
             raise ValueError(f"cannot assign to a {self.state.value} request")
         if self.remaining_demand <= 0:
             raise ValueError("request demand already satisfied")
-        if device_id in self.assigned:
+        if device_id in self.assigned_ids:
             raise ValueError(
                 f"device {device_id} is already assigned to this request"
             )
         self.assigned.append(device_id)
+        self.assigned_ids[device_id] = now
         self.assigned_times.append(now)
         if self.remaining_demand == 0:
             self.state = RequestState.COLLECTING
@@ -214,7 +227,7 @@ class ResourceRequest:
 
     def record_response(self, device_id: int, now: float) -> None:
         """Record a successful device report at time ``now``."""
-        if device_id not in self.assigned:
+        if device_id not in self.assigned_ids:
             raise ValueError(f"device {device_id} was never assigned to this request")
         self.responses[device_id] = now
 

@@ -1,6 +1,7 @@
 """Event-driven collaborative-learning simulator substrate."""
 
 from .device import DeviceRuntime, DeviceStatus, SECONDS_PER_DAY
+from .dispatch import IdleDevicePool, PendingRequestPool
 from .engine import SimulationConfig, Simulator, run_simulation
 from .events import Event, EventQueue, EventType
 from .job import JobRuntime, RoundRecord
@@ -19,9 +20,11 @@ __all__ = [
     "Event",
     "EventQueue",
     "EventType",
+    "IdleDevicePool",
     "JobMetrics",
     "JobRuntime",
     "LatencyConfig",
+    "PendingRequestPool",
     "ResponseLatencyModel",
     "RoundRecord",
     "SECONDS_PER_DAY",

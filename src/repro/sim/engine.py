@@ -21,6 +21,36 @@ Round semantics follow the paper's synchronous-CL setup:
 Devices obey the availability trace (they can only be assigned while online,
 and drop out when their session ends mid-task) and, by default, the paper's
 one-job-per-day realism constraint.
+
+Check-in fast path (million-device traces)
+------------------------------------------
+
+With ``SimulationConfig(indexed_dispatch=True)`` — the default — the engine
+runs an indexed hot path sized for 10^5–10^6-device traces:
+
+* same-timestamp device check-ins are popped from the event heap as one
+  batch (:meth:`~repro.sim.events.EventQueue.pop_run`), so the per-event
+  heap and handler-dispatch overhead is paid once per timestamp; each device
+  is still registered and offered to the policy in exactly the original
+  order, so decisions are unchanged;
+* jobs with open, unsatisfied requests live in a
+  :class:`~repro.sim.dispatch.PendingRequestPool` (O(1) membership +
+  deadline heap) instead of being re-derived by scanning all jobs;
+* idle devices live in a :class:`~repro.sim.dispatch.IdleDevicePool`
+  bucketed by eligibility signature, so a request arrival only visits
+  devices that could actually serve some pending requirement — and devices
+  that spent their one-job-per-day budget are parked on a calendar heap
+  until their blackout ends instead of being rescanned on every dispatch.
+
+``indexed_dispatch=False`` restores the seed's full linear scans (the
+``--legacy-scan`` mode of ``benchmarks/bench_scalability.py``).  Both paths
+offer devices to the policy in ascending device-id order and produce
+identical assignment sequences; the golden regression tests pin this.
+
+Randomness is drawn from one injected :class:`numpy.random.Generator`
+(seeded by ``SimulationConfig.seed``): the engine's latency model shares it,
+and the policy adopts it via ``bind_rng`` unless it was explicitly seeded —
+so one seed determines an entire run bit-for-bit.
 """
 
 from __future__ import annotations
@@ -31,10 +61,12 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from ..core.policy import SchedulingPolicy
+from ..core.requirements import signature_of
 from ..core.types import DeviceProfile, JobSpec, ResourceRequest
 from ..traces.device_trace import DeviceAvailabilityTrace
 from ..traces.workloads import Workload
 from .device import DeviceRuntime, DeviceStatus
+from .dispatch import IdleDevicePool, PendingRequestPool
 from .events import Event, EventQueue, EventType
 from .job import JobRuntime
 from .latency import LatencyConfig, ResponseLatencyModel
@@ -50,12 +82,17 @@ class SimulationConfig:
     horizon: float = 4 * 24 * 3600.0
     #: Enforce the paper's one-CL-job-per-device-per-day constraint.
     enforce_daily_limit: bool = True
-    #: Seed for the latency / failure model.
+    #: Seed of the run's single random generator (latency model + any
+    #: policy that was not explicitly seeded).
     seed: Optional[int] = None
     #: Safety valve against runaway event loops.
     max_events: int = 10_000_000
     #: Latency model parameters.
     latency: LatencyConfig = field(default_factory=LatencyConfig)
+    #: Use the indexed check-in fast path (batched check-ins, pending-request
+    #: pool, signature-bucketed idle pool).  ``False`` restores the seed's
+    #: linear scans; scheduling decisions are identical either way.
+    indexed_dispatch: bool = True
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -78,7 +115,11 @@ class Simulator:
     ) -> None:
         self.config = config or SimulationConfig()
         self.policy = policy
-        self.latency = ResponseLatencyModel(self.config.latency, seed=self.config.seed)
+        #: The run's single random generator; the latency model draws from it
+        #: directly and unseeded policies adopt it via ``bind_rng``.
+        self.rng = np.random.default_rng(self.config.seed)
+        self.latency = ResponseLatencyModel(self.config.latency, rng=self.rng)
+        self.policy.bind_rng(self.rng)
 
         if isinstance(workload, Workload):
             jobs = list(workload.jobs)
@@ -110,6 +151,18 @@ class Simulator:
         self._requests: Dict[int, ResourceRequest] = {}
         self._deadline_events: Dict[int, Event] = {}
         self._idle_devices: set = set()
+        self._indexed = bool(self.config.indexed_dispatch)
+        self._pending = PendingRequestPool()
+        self._idle_pool = IdleDevicePool()
+        # The engine's own signature space: the workload's full requirement
+        # set is known up front, so each device's eligibility signature is
+        # computed once (lazily, at first check-in) and cached forever.
+        # Deduplicated by requirement *object* (not name): if two jobs'
+        # requirements shared a name but differed in predicate, both
+        # predicates must contribute to the signature so the dispatch
+        # bucket filter never under-visits.
+        self._requirements = list(dict.fromkeys(job.requirement for job in jobs))
+        self._device_signatures: Dict[int, frozenset] = {}
         self._metrics = SimulationMetrics(
             policy=getattr(policy, "name", type(policy).__name__),
             horizon=self.config.horizon,
@@ -151,6 +204,7 @@ class Simulator:
             EventType.DEVICE_RESPONSE: self._on_device_response,
             EventType.REQUEST_DEADLINE: self._on_request_deadline,
         }
+        batch_checkins = self._indexed
         while self.queue:
             event = self.queue.pop()
             if event is None:
@@ -158,8 +212,18 @@ class Simulator:
             if event.time > self.config.horizon:
                 break
             self.now = event.time
-            handlers[event.type](event)
-            self._events_processed += 1
+            if batch_checkins and event.type is EventType.DEVICE_CHECKIN:
+                # Batch the contiguous run of same-timestamp check-ins: one
+                # heap drain, one handler loop.  Each device is still
+                # registered and offered in the original order.
+                self._on_device_checkin(event)
+                self._events_processed += 1
+                for peer in self.queue.pop_run(event.time, EventType.DEVICE_CHECKIN):
+                    self._on_device_checkin(peer)
+                    self._events_processed += 1
+            else:
+                handlers[event.type](event)
+                self._events_processed += 1
             if self._events_processed >= self.config.max_events:
                 raise RuntimeError(
                     "simulation exceeded max_events; check for livelock or "
@@ -170,6 +234,11 @@ class Simulator:
         self._finalise()
         return self._metrics
 
+    @property
+    def events_processed(self) -> int:
+        """Number of events handled so far (exposed for benchmarks)."""
+        return self._events_processed
+
     def _finalise(self) -> None:
         horizon = self.config.horizon
         for job in self.jobs.values():
@@ -178,6 +247,44 @@ class Simulator:
             self._metrics.jobs[job.job_id] = collect_job_metrics(
                 job, category=self._categories.get(job.job_id, "general")
             )
+
+    # ------------------------------------------------------------------ #
+    # Idle-device bookkeeping
+    # ------------------------------------------------------------------ #
+    def _signature(self, device: DeviceRuntime) -> frozenset:
+        sig = self._device_signatures.get(device.device_id)
+        if sig is None:
+            sig = signature_of(device.profile, self._requirements)
+            self._device_signatures[device.device_id] = sig
+        return sig
+
+    def _note_idle(self, device: DeviceRuntime) -> None:
+        """Device became idle: track it, parking daily-spent devices."""
+        self._idle_devices.add(device.device_id)
+        if not self._indexed:
+            return
+        sig = self._signature(device)
+        if self.config.enforce_daily_limit and device.participated_today(self.now):
+            self._idle_pool.park(
+                device.device_id, sig, device.last_participation_day + 1
+            )
+        else:
+            self._idle_pool.add(device.device_id, sig)
+
+    def _note_not_idle(self, device_id: int) -> None:
+        self._idle_devices.discard(device_id)
+        if self._indexed:
+            self._idle_pool.discard(device_id)
+
+    def _refund_daily_budget(self, device: DeviceRuntime) -> None:
+        """The device's round was discarded; it keeps its daily budget."""
+        device.last_participation_day = None
+        if not self._indexed:
+            return
+        if device.is_idle:
+            self._idle_pool.unpark(device.device_id)
+        else:
+            self._idle_pool.discard(device.device_id)
 
     # ------------------------------------------------------------------ #
     # Event handlers
@@ -197,7 +304,7 @@ class Simulator:
             device.session_end = max(device.session_end, session_end)
             return
         device.check_in(self.now, session_end)
-        self._idle_devices.add(device.device_id)
+        self._note_idle(device)
         self._metrics.total_checkins += 1
         self.policy.on_device_checkin(device.profile, self.now)
         if device.can_take_task(self.now, self.config.enforce_daily_limit):
@@ -210,7 +317,7 @@ class Simulator:
             return  # resolved when the task finishes
         if device.is_online and device.session_end <= session_end:
             device.check_out()
-            self._idle_devices.discard(device.device_id)
+            self._note_not_idle(device.device_id)
 
     def _on_device_response(self, event: Event) -> None:
         payload = event.payload
@@ -219,9 +326,9 @@ class Simulator:
         request = self._requests.get(payload["request_id"])
         device.finish_task(self.now, success)
         if device.is_idle:
-            self._idle_devices.add(device.device_id)
+            self._note_idle(device)
         else:
-            self._idle_devices.discard(device.device_id)
+            self._note_not_idle(device.device_id)
         if success:
             self._metrics.total_responses += 1
         else:
@@ -234,7 +341,7 @@ class Simulator:
         elif request is not None and not request.is_open:
             # The round was aborted (or cancelled) while this device was still
             # computing; its work is discarded, so it keeps its daily budget.
-            device.last_participation_day = None
+            self._refund_daily_budget(device)
 
         # A freed device may immediately serve another job (when the daily
         # limit permits).
@@ -248,6 +355,7 @@ class Simulator:
         job = self.jobs[request.job_id]
         job.abort_round(self.now)
         self._metrics.total_aborts += 1
+        self._pending.remove(request.job_id)
         self.policy.on_request_closed(request, self.now)
         self._deadline_events.pop(request.request_id, None)
         # Participation in an aborted round does not count against the
@@ -257,7 +365,7 @@ class Simulator:
         for device_id in request.assigned:
             device = self.devices[device_id]
             if device.status is not DeviceStatus.BUSY:
-                device.last_participation_day = None
+                self._refund_daily_budget(device)
         # Retry the round immediately with a fresh request.
         self._open_request(job)
         self._dispatch_idle_devices()
@@ -269,6 +377,7 @@ class Simulator:
         self._request_counter += 1
         request = job.open_round_request(self._request_counter, self.now)
         self._requests[request.request_id] = request
+        self._pending.add(job.job_id, job.spec.requirement.name)
         self.policy.on_request_open(request, self.now)
         deadline_event = self.queue.push(
             request.deadline, EventType.REQUEST_DEADLINE, request_id=request.request_id
@@ -285,6 +394,7 @@ class Simulator:
         deadline_event = self._deadline_events.pop(request.request_id, None)
         if deadline_event is not None:
             deadline_event.cancel()
+        self._pending.remove(request.job_id)
         self.policy.on_request_closed(request, self.now)
         finished = job.complete_round(self.now)
         if finished:
@@ -297,6 +407,8 @@ class Simulator:
     # Assignment helpers
     # ------------------------------------------------------------------ #
     def _has_unsatisfied_request(self) -> bool:
+        if self._indexed:
+            return bool(self._pending)
         return any(
             r.is_open and r.remaining_demand > 0 for r in self._open_requests()
         )
@@ -312,7 +424,7 @@ class Simulator:
             return
         if not request.is_open or request.remaining_demand <= 0:
             return
-        if device.device_id in request.assigned:
+        if request.is_assigned(device.device_id):
             # A device never participates twice in the same round request.
             return
         job = self.jobs.get(request.job_id)
@@ -327,8 +439,10 @@ class Simulator:
                 f"{request.job_id} ({job.spec.requirement.name})"
             )
         request.record_assignment(device.device_id, self.now)
+        if request.remaining_demand == 0:
+            self._pending.remove(request.job_id)
         device.start_task(job.job_id, request.request_id, self.now)
-        self._idle_devices.discard(device.device_id)
+        self._note_not_idle(device.device_id)
 
         duration = self.latency.sample_duration(job.spec, device.profile)
         dropped = self.latency.sample_failure(device.profile)
@@ -350,10 +464,30 @@ class Simulator:
         )
 
     def _dispatch_idle_devices(self) -> None:
-        """Offer idle online devices to the policy while demand remains."""
+        """Offer idle online devices to the policy while demand remains.
+
+        Devices are visited in ascending device-id order on both dispatch
+        paths, so the indexed pool (which skips devices that cannot satisfy
+        any pending requirement) produces exactly the same assignments as
+        the legacy full scan.
+        """
         if not self._has_unsatisfied_request():
             return
-        for device_id in list(self._idle_devices):
+        if self._indexed:
+            cfg_daily = self.config.enforce_daily_limit
+            pending = self._pending
+
+            def visit(device_id: int) -> set:
+                device = self.devices[device_id]
+                if device.can_take_task(self.now, cfg_daily):
+                    self._try_assign(device)
+                return pending.pending_requirements()
+
+            self._idle_pool.dispatch(
+                pending.pending_requirements(), self.now, visit
+            )
+            return
+        for device_id in sorted(self._idle_devices):
             device = self.devices[device_id]
             if not device.can_take_task(self.now, self.config.enforce_daily_limit):
                 continue

@@ -51,9 +51,12 @@ class ResponseLatencyModel:
         self,
         config: Optional[LatencyConfig] = None,
         seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
     ) -> None:
+        """``rng`` (an injected generator, e.g. the engine's single run
+        generator) takes precedence over ``seed``."""
         self.config = config or LatencyConfig()
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
 
     def sample_duration(self, job: JobSpec, device: DeviceProfile) -> float:
         """Response time (seconds) for ``device`` executing one round of ``job``."""

@@ -1,0 +1,175 @@
+"""Property-based tests for Algorithm 1 invariants and AtomIndex equivalence.
+
+These pin the structural guarantees the indexed check-in fast path relies
+on:
+
+* the atom-to-group allocation is a *partition* (every atom eligible to at
+  least one group is owned by exactly one group);
+* with reallocation disabled, ownership is exactly scarcest-supply-first;
+* the reallocation phase never increases the summed queue-length/supply
+  ratio of the groups (the Appendix-D objective standing in for average
+  scheduling delay);
+* the :class:`~repro.core.atom_index.AtomIndex` yields *identical*
+  device -> job candidate sequences as the pre-index linear scan, for known
+  and unknown signatures alike, and every candidate it yields is eligible
+  by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.irs import _EPS, build_plan
+from repro.core.job_group import JobGroupRegistry
+from repro.core.requirements import (
+    DEFAULT_CATEGORIES,
+    AtomSpace,
+    EligibilityRequirement,
+)
+
+#: Pool of requirements used to build randomised scenarios: the four paper
+#: categories plus two data-domain requirements so that disjoint and
+#: partially-overlapping eligible sets all occur.
+REQUIREMENT_POOL = list(DEFAULT_CATEGORIES) + [
+    EligibilityRequirement("kb_mid", min_cpu=0.3, data_domain="keyboard"),
+    EligibilityRequirement("emoji_any", data_domain="emoji"),
+]
+
+
+def random_scenario(rng: np.random.Generator, demands, rate_values):
+    """Build (groups, space, rates, queue_lengths) from hypothesis draws."""
+    n_reqs = int(rng.integers(2, len(REQUIREMENT_POOL) + 1))
+    picks = [REQUIREMENT_POOL[i] for i in rng.permutation(len(REQUIREMENT_POOL))[:n_reqs]]
+    registry = JobGroupRegistry()
+    for job_id, demand in enumerate(demands):
+        req = picks[int(rng.integers(0, len(picks)))]
+        registry.upsert_job(job_id, req, remaining_demand=demand)
+    space = AtomSpace(picks)
+    atoms = sorted(space.atoms, key=sorted)
+    rates = {
+        atom: rate_values[i % len(rate_values)]
+        for i, atom in enumerate(atoms)
+        if atom  # the empty signature has no eligible group
+    }
+    return registry, space, rates
+
+
+SCENARIO = dict(
+    demands=st.lists(st.integers(min_value=1, max_value=400), min_size=1, max_size=16),
+    rate_values=st.lists(
+        st.floats(min_value=0.0, max_value=2.0), min_size=1, max_size=8
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+
+
+class TestAllocationPartition:
+    @given(**SCENARIO)
+    @settings(max_examples=80, deadline=None)
+    def test_every_atom_assigned_to_exactly_one_group(self, demands, rate_values, seed):
+        rng = np.random.default_rng(seed)
+        registry, space, rates = random_scenario(rng, demands, rate_values)
+        plan = build_plan(registry.groups(), space, rates)
+
+        group_keys = [g.key for g in registry.groups()]
+        eligible_union = set()
+        for key in group_keys:
+            eligible_union |= set(space.eligible_atoms(key))
+        eligible_union |= {sig for sig in rates if any(k in sig for k in group_keys)}
+
+        owners_of = {}
+        for key, alloc in plan.allocations.items():
+            for atom in alloc.allocated_atoms:
+                owners_of.setdefault(atom, []).append(key)
+        for atom, owners in owners_of.items():
+            assert len(owners) == 1, f"atom {sorted(atom)} owned by {owners}"
+        for atom in eligible_union:
+            assert atom in owners_of, f"eligible atom {sorted(atom)} unallocated"
+
+    @given(**SCENARIO)
+    @settings(max_examples=60, deadline=None)
+    def test_initial_allocation_is_scarcest_first(self, demands, rate_values, seed):
+        """Without reallocation, every atom belongs to the scarcest (by
+        estimated supply, ties by name) of its eligible groups."""
+        rng = np.random.default_rng(seed)
+        registry, space, rates = random_scenario(rng, demands, rate_values)
+        plan = build_plan(registry.groups(), space, rates, reallocate=False)
+
+        for key, alloc in plan.allocations.items():
+            for atom in alloc.allocated_atoms:
+                eligible = [
+                    k
+                    for k in plan.allocations
+                    if atom in space.eligible_atoms(k) or k in atom
+                ]
+                scarcest = min(
+                    eligible,
+                    key=lambda k: (plan.allocations[k].supply_rate, k),
+                )
+                assert key == scarcest
+
+    @given(**SCENARIO)
+    @settings(max_examples=60, deadline=None)
+    def test_reallocation_never_worsens_queue_supply_ratio(
+        self, demands, rate_values, seed
+    ):
+        """The Appendix-D objective: summed queue-length / effective-supply
+        ratio over groups must not increase when reallocation runs."""
+        rng = np.random.default_rng(seed)
+        registry, space, rates = random_scenario(rng, demands, rate_values)
+        base = build_plan(registry.groups(), space, rates, reallocate=False)
+        realloc = build_plan(registry.groups(), space, rates, reallocate=True)
+
+        def objective(plan):
+            total = 0.0
+            for alloc in plan.allocations.values():
+                denom = (
+                    alloc.allocated_rate
+                    if alloc.allocated_rate > _EPS
+                    else alloc.supply_rate
+                )
+                total += alloc.queue_length / max(denom, _EPS)
+            return total
+
+        assert objective(realloc) <= objective(base) * (1 + 1e-9) + 1e-9
+
+
+class TestAtomIndexEquivalence:
+    @given(**SCENARIO)
+    @settings(max_examples=80, deadline=None)
+    def test_index_matches_legacy_scan(self, demands, rate_values, seed):
+        """The indexed candidate list equals the pre-index linear flattening
+        for every known atom and for random unknown signatures."""
+        rng = np.random.default_rng(seed)
+        registry, space, rates = random_scenario(rng, demands, rate_values)
+        plan = build_plan(registry.groups(), space, rates)
+        index = plan.index()
+
+        signatures = list(space.atoms)
+        # Random subsets of requirement names model signatures the atom
+        # space never anticipated (e.g. surprising data-domain combos).
+        names = sorted({g.key for g in registry.groups()})
+        for _ in range(5):
+            mask = rng.integers(0, 2, size=len(names)).astype(bool)
+            signatures.append(frozenset(n for n, m in zip(names, mask) if m))
+
+        for sig in signatures:
+            legacy = [tuple(c) for c in plan.ordered_jobs_for(sig)]
+            fast = [tuple(c) for c in index.candidates(sig)]
+            assert fast == legacy, f"divergence for signature {sorted(sig)}"
+
+    @given(**SCENARIO)
+    @settings(max_examples=40, deadline=None)
+    def test_index_candidates_always_eligible(self, demands, rate_values, seed):
+        """Every candidate group the index yields is contained in the
+        signature — the guarantee that lets the fast path skip per-job
+        eligibility checks."""
+        rng = np.random.default_rng(seed)
+        registry, space, rates = random_scenario(rng, demands, rate_values)
+        plan = build_plan(registry.groups(), space, rates)
+        index = plan.index()
+        for sig in space.atoms:
+            for group_key, _job_id in index.candidates(sig):
+                assert group_key in sig

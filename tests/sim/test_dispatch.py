@@ -1,0 +1,174 @@
+"""Unit tests for the engine's indexed dispatch structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.dispatch import IdleDevicePool, PendingRequestPool
+from repro.sim.events import EventQueue, EventType
+
+SIG_GEN = frozenset({"general"})
+SIG_HP = frozenset({"general", "high_performance"})
+SIG_OTHER = frozenset({"memory_rich"})
+
+
+class TestPendingRequestPool:
+    def test_add_remove_roundtrip(self):
+        pool = PendingRequestPool()
+        assert not pool
+        pool.add(1, "general")
+        pool.add(2, "high_performance")
+        assert len(pool) == 2 and 1 in pool
+        assert pool.pending_requirements() == {"general", "high_performance"}
+        pool.remove(2)
+        assert pool.pending_requirements() == {"general"}
+        pool.remove(1)
+        assert not pool and pool.pending_requirements() == set()
+
+    def test_reopen_replaces_previous_request(self):
+        pool = PendingRequestPool()
+        pool.add(1, "general")
+        pool.add(1, "general")  # retry after abort
+        assert len(pool) == 1
+        assert pool.pending_requirements() == {"general"}
+
+    def test_requirement_multiset(self):
+        pool = PendingRequestPool()
+        pool.add(1, "general")
+        pool.add(2, "general")
+        pool.remove(1)
+        assert pool.pending_requirements() == {"general"}
+        pool.remove(2)
+        assert pool.pending_requirements() == set()
+
+    def test_remove_unknown_job_is_noop(self):
+        pool = PendingRequestPool()
+        pool.add(1, "general")
+        pool.remove(99)
+        assert pool.pending_requirements() == {"general"}
+
+
+class TestIdleDevicePool:
+    def visit_order(self, pool, reqs, now=0.0):
+        seen = []
+        reqs = set(reqs)
+        pool.dispatch(reqs, now, lambda d: (seen.append(d), reqs)[1])
+        return seen
+
+    def test_dispatch_ascending_and_filtered(self):
+        pool = IdleDevicePool()
+        pool.add(5, SIG_GEN)
+        pool.add(1, SIG_HP)
+        pool.add(3, SIG_GEN)
+        pool.add(9, SIG_OTHER)
+        assert self.visit_order(pool, {"general"}) == [1, 3, 5]
+        assert self.visit_order(pool, {"memory_rich"}) == [9]
+        assert self.visit_order(pool, {"high_performance"}) == [1]
+
+    def test_visited_devices_stay_in_pool(self):
+        pool = IdleDevicePool()
+        for d in (2, 4, 6):
+            pool.add(d, SIG_GEN)
+        assert self.visit_order(pool, {"general"}) == [2, 4, 6]
+        # Nothing was discarded, so a second dispatch sees them again.
+        assert self.visit_order(pool, {"general"}) == [2, 4, 6]
+
+    def test_early_stop(self):
+        pool = IdleDevicePool()
+        for d in range(5):
+            pool.add(d, SIG_GEN)
+        seen = []
+        pool.dispatch(
+            {"general"}, 0.0,
+            lambda d: (seen.append(d), {"general"} if d < 1 else set())[1],
+        )
+        assert seen == [0, 1]
+        # Later dispatches still see every device.
+        assert self.visit_order(pool, {"general"}) == [0, 1, 2, 3, 4]
+
+    def test_bucket_refilter_when_requirement_drops(self):
+        """Once a requirement's demand fills mid-dispatch, buckets that only
+        matched that requirement are abandoned."""
+        pool = IdleDevicePool()
+        for d in (1, 3, 5, 7):
+            pool.add(d, SIG_GEN)
+        pool.add(2, SIG_HP)
+        pool.add(9, SIG_HP)
+        seen = []
+
+        def visit(d):
+            seen.append(d)
+            # The general job fills after the first offer; only
+            # high_performance demand remains.
+            return {"high_performance"} if len(seen) >= 1 else {
+                "general", "high_performance"
+            }
+
+        pool.dispatch({"general", "high_performance"}, 0.0, visit)
+        # Device 1 (general bucket head) is offered first; after the general
+        # demand drops, only the HP-signature devices are walked.
+        assert seen == [1, 2, 9]
+
+    def test_discard_then_readd_visits_once(self):
+        pool = IdleDevicePool()
+        pool.add(7, SIG_GEN)
+        pool.discard(7)
+        pool.add(7, SIG_GEN)  # may leave a duplicate lazy heap entry
+        assert self.visit_order(pool, {"general"}) == [7]
+        assert self.visit_order(pool, {"general"}) == [7]
+
+    def test_parked_devices_skipped_until_day_ends(self):
+        pool = IdleDevicePool()
+        pool.add(1, SIG_GEN)
+        pool.park(2, SIG_GEN, eligible_day=1)
+        assert 2 in pool
+        assert self.visit_order(pool, {"general"}, now=1_000.0) == [1]
+        # Day 1 begins at t = 86400: device 2 is promoted automatically.
+        assert self.visit_order(pool, {"general"}, now=90_000.0) == [1, 2]
+
+    def test_unpark_restores_immediately(self):
+        pool = IdleDevicePool()
+        pool.park(4, SIG_GEN, eligible_day=5)
+        assert self.visit_order(pool, {"general"}) == []
+        pool.unpark(4)
+        assert self.visit_order(pool, {"general"}) == [4]
+
+    def test_discard_removes_parked(self):
+        pool = IdleDevicePool()
+        pool.park(4, SIG_GEN, eligible_day=0)
+        pool.discard(4)
+        assert 4 not in pool
+        assert self.visit_order(pool, {"general"}, now=90_000.0) == []
+
+
+class TestEventQueuePopRun:
+    def test_pops_contiguous_same_time_same_type(self):
+        q = EventQueue()
+        q.push(1.0, EventType.DEVICE_CHECKIN, device_id=1)
+        q.push(1.0, EventType.DEVICE_CHECKIN, device_id=2)
+        q.push(1.0, EventType.DEVICE_CHECKOUT, device_id=3)
+        q.push(1.0, EventType.DEVICE_CHECKIN, device_id=4)
+        q.push(2.0, EventType.DEVICE_CHECKIN, device_id=5)
+        first = q.pop()
+        run = q.pop_run(first.time, EventType.DEVICE_CHECKIN)
+        # The interleaved checkout stops the run: ordering is preserved.
+        assert [e.payload["device_id"] for e in run] == [2]
+        assert q.pop().payload["device_id"] == 3
+        assert q.pop().payload["device_id"] == 4
+
+    def test_skips_cancelled_events(self):
+        q = EventQueue()
+        q.push(1.0, EventType.DEVICE_CHECKIN, device_id=1)
+        ev = q.push(1.0, EventType.DEVICE_CHECKIN, device_id=2)
+        q.push(1.0, EventType.DEVICE_CHECKIN, device_id=3)
+        ev.cancel()
+        first = q.pop()
+        run = q.pop_run(first.time, EventType.DEVICE_CHECKIN)
+        assert [e.payload["device_id"] for e in run] == [3]
+        assert len(q) == 0
+
+    def test_empty_when_no_match(self):
+        q = EventQueue()
+        q.push(5.0, EventType.DEVICE_CHECKIN, device_id=1)
+        assert q.pop_run(1.0, EventType.DEVICE_CHECKIN) == []
+        assert len(q) == 1

@@ -12,9 +12,14 @@ whole system in Python:
 * :mod:`repro.traces`      — synthetic device-availability, device-capacity
   and job-demand traces;
 * :mod:`repro.fl`          — a numpy federated-learning substrate (FedAvg);
-* :mod:`repro.analysis`    — metrics and report formatting;
+* :mod:`repro.analysis`    — metrics, sweep aggregation and report
+  formatting;
 * :mod:`repro.experiments` — drivers that regenerate every table and figure
-  of the paper's evaluation.
+  of the paper's evaluation, plus the parallel scenario sweep runner
+  (:mod:`repro.experiments.sweep`);
+* :mod:`repro.scenarios`   — the declarative scenario registry the sweep
+  draws from (paper scenarios plus flash crowds, churn storms, straggler
+  tails and multi-tenant tiers).
 
 Quickstart::
 
@@ -26,7 +31,9 @@ Quickstart::
         print(name, metrics.average_jct)
 """
 
-from . import analysis, core, experiments, fl, sim, traces
+# `scenarios` must come after `experiments`: scenario specs build on the
+# experiment config machinery.
+from . import analysis, core, experiments, fl, scenarios, sim, traces
 from .core import (
     DeviceProfile,
     EligibilityRequirement,
@@ -62,6 +69,7 @@ __all__ = [
     "make_policy",
     "run_simulation",
     "scenario_workload",
+    "scenarios",
     "sim",
     "traces",
 ]

@@ -1,5 +1,13 @@
 """Metrics analysis and plain-text reporting helpers."""
 
+from .aggregate import (
+    AggregateRow,
+    aggregate_jsonl,
+    aggregate_rows,
+    format_aggregates,
+    load_jsonl,
+    write_jsonl,
+)
 from .report import (
     format_cell,
     format_mapping,
@@ -19,15 +27,21 @@ from .stats import (
 )
 
 __all__ = [
+    "AggregateRow",
     "BreakdownRow",
+    "aggregate_jsonl",
+    "aggregate_rows",
     "average_jct_speedup",
     "fairness_satisfaction",
     "format_cell",
     "format_mapping",
     "format_series",
+    "format_aggregates",
     "format_speedup_table",
     "format_table",
     "geometric_mean",
+    "load_jsonl",
+    "write_jsonl",
     "jct_breakdown",
     "jct_speedup_by_category",
     "jct_speedup_by_demand_percentile",

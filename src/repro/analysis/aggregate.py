@@ -1,0 +1,165 @@
+"""Aggregation of sweep JSONL rows into per-(scenario, policy) summaries.
+
+The sweep runner (:mod:`repro.experiments.sweep`) writes one row per
+(scenario × seed × policy) cell.  This module folds those rows into the
+numbers a scenario matrix is actually read by: mean / p50 / p99 JCT (pooled
+over every job of every seed), SLA attainment and error rate per scenario
+and policy.  It works off plain dicts so it can equally aggregate a
+just-finished in-memory sweep or a JSONL artifact from CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .report import format_table
+
+
+def write_jsonl(rows: Iterable[Mapping], path: str) -> None:
+    """Write rows as JSON Lines with sorted keys (reproducible bytes)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        for row in rows:
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+
+
+def load_jsonl(path: str) -> List[Dict]:
+    """Load a JSONL artifact back into a list of row dicts."""
+    rows: List[Dict] = []
+    with open(path) as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: invalid JSON row") from exc
+    return rows
+
+
+@dataclass(frozen=True)
+class AggregateRow:
+    """Summary of all cells sharing one (scenario, policy) pair."""
+
+    scenario: str
+    policy: str
+    num_cells: int
+    num_jobs: int
+    mean_jct: float
+    p50_jct: float
+    p99_jct: float
+    sla_attainment: float
+    error_rate: float
+    completion_rate: float
+    total_aborts: int
+
+
+def aggregate_rows(
+    rows: Sequence[Mapping],
+) -> Dict[Tuple[str, str], AggregateRow]:
+    """Fold sweep rows into per-(scenario, policy) aggregates.
+
+    JCT statistics pool the per-job JCTs of every seed (each row's
+    ``job_jcts`` list) rather than averaging per-cell averages, so scenarios
+    with uneven job counts are weighted by job, not by cell.  Rate metrics
+    (SLA attainment, error rate, completion rate) are cell means — each cell
+    is one independent replication.
+    """
+    groups: Dict[Tuple[str, str], List[Mapping]] = {}
+    for row in rows:
+        try:
+            key = (str(row["scenario"]), str(row["policy"]))
+        except KeyError as exc:
+            raise ValueError(f"sweep row missing required field: {exc}") from None
+        groups.setdefault(key, []).append(row)
+
+    out: Dict[Tuple[str, str], AggregateRow] = {}
+    for key in sorted(groups):
+        scenario, policy = key
+        cells = groups[key]
+        jcts = np.array(
+            [jct for row in cells for jct in row.get("job_jcts", ())], dtype=float
+        )
+        if jcts.size:
+            mean_jct = float(jcts.mean())
+            p50 = float(np.percentile(jcts, 50.0))
+            p99 = float(np.percentile(jcts, 99.0))
+        else:
+            mean_jct = p50 = p99 = 0.0
+        out[key] = AggregateRow(
+            scenario=scenario,
+            policy=policy,
+            num_cells=len(cells),
+            num_jobs=int(jcts.size),
+            mean_jct=mean_jct,
+            p50_jct=p50,
+            p99_jct=p99,
+            sla_attainment=float(
+                np.mean([row.get("sla_attainment", 0.0) for row in cells])
+            ),
+            error_rate=float(np.mean([row.get("error_rate", 0.0) for row in cells])),
+            completion_rate=float(
+                np.mean([row.get("completion_rate", 0.0) for row in cells])
+            ),
+            total_aborts=int(sum(row.get("total_aborts", 0) for row in cells)),
+        )
+    return out
+
+
+def aggregate_jsonl(path: str) -> Dict[Tuple[str, str], AggregateRow]:
+    """Convenience: :func:`load_jsonl` + :func:`aggregate_rows`."""
+    return aggregate_rows(load_jsonl(path))
+
+
+def format_aggregates(
+    aggregates: Mapping[Tuple[str, str], AggregateRow],
+    title: str = "Sweep summary (per scenario x policy)",
+) -> str:
+    """Plain-text table of the aggregates, in scenario/policy order."""
+    headers = [
+        "scenario",
+        "policy",
+        "cells",
+        "jobs",
+        "mean JCT (s)",
+        "p50 JCT (s)",
+        "p99 JCT (s)",
+        "SLA",
+        "err rate",
+        "aborts",
+    ]
+    rows = [
+        [
+            agg.scenario,
+            agg.policy,
+            agg.num_cells,
+            agg.num_jobs,
+            agg.mean_jct,
+            agg.p50_jct,
+            agg.p99_jct,
+            agg.sla_attainment,
+            agg.error_rate,
+            agg.total_aborts,
+        ]
+        for _, agg in sorted(aggregates.items())
+    ]
+    if not rows:
+        return title + "\n(no rows)"
+    return format_table(headers, rows, title=title)
+
+
+__all__ = [
+    "AggregateRow",
+    "aggregate_jsonl",
+    "aggregate_rows",
+    "format_aggregates",
+    "load_jsonl",
+    "write_jsonl",
+]

@@ -52,7 +52,7 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tupl
 
 from .atom_index import AtomIndex
 from .job_group import JobGroup
-from .requirements import AtomSignature, AtomSpace
+from .requirements import AtomSignature, AtomSpace, atom_sort_key, sorted_atoms
 
 #: Guard for divisions by (near-)zero supply rates.
 _EPS = 1e-12
@@ -184,6 +184,13 @@ def build_plan(
         frozenset(sig): max(0.0, float(rate)) for sig, rate in atom_rates.items()
     }
 
+    def rate_sum(atoms: Set[AtomSignature]) -> float:
+        """Accumulate in canonical atom order: float addition is not
+        associative, so summing in set (= hash) order would make supply
+        rates — and through them scheduling decisions — depend on
+        ``PYTHONHASHSEED``."""
+        return sum(rates.get(a, 0.0) for a in sorted_atoms(atoms))
+
     # ---- Phase 1: intra-group ordering (§4.2.1) ----------------------- #
     allocations: Dict[str, GroupAllocation] = {}
     eligible_atoms: Dict[str, FrozenSet[AtomSignature]] = {}
@@ -193,7 +200,7 @@ def build_plan(
             sig for sig in rates if key in sig
         }
         eligible_atoms[key] = frozenset(atoms)
-        supply = sum(rates.get(a, 0.0) for a in atoms)
+        supply = rate_sum(atoms)
         qlen = (
             float(queue_lengths[key])
             if queue_lengths is not None and key in queue_lengths
@@ -218,7 +225,7 @@ def build_plan(
         claim = unclaimed & eligible_atoms[key]
         alloc = allocations[key]
         alloc.allocated_atoms = set(claim)
-        alloc.allocated_rate = sum(rates.get(a, 0.0) for a in claim)
+        alloc.allocated_rate = rate_sum(claim)
         unclaimed -= claim
 
     # ---- Phase 3: reallocation of intersected resources (lines 10-23) -- #
@@ -251,7 +258,7 @@ def build_plan(
                 shared = eligible_atoms[j_key] & alloc_k.allocated_atoms
                 if not shared:
                     continue
-                shared_rate = sum(rates.get(a, 0.0) for a in shared)
+                shared_rate = rate_sum(shared)
                 rate_j_after = alloc_j.allocated_rate + shared_rate
                 rate_k_after = alloc_k.allocated_rate - shared_rate
                 after_j = alloc_j.queue_length / max(
@@ -285,7 +292,9 @@ def build_plan(
     all_atoms: Set[AtomSignature] = set(rates) | set().union(
         *eligible_atoms.values()
     )
-    for atom in all_atoms:
+    # Canonical order keeps ``atom_preferences`` insertion (and hence any
+    # iteration over it) independent of hash order.
+    for atom in sorted(all_atoms, key=atom_sort_key):
         eligible_groups = [k for k in plan.group_order if atom in eligible_atoms[k]]
         if not eligible_groups:
             continue

@@ -118,6 +118,24 @@ def signature_of(
     return frozenset(r.name for r in requirements if r.is_eligible(device))
 
 
+def atom_sort_key(signature: AtomSignature) -> tuple:
+    """Canonical ordering key for atom signatures.
+
+    Frozensets iterate in hash order, which varies with ``PYTHONHASHSEED``
+    between interpreter invocations.  Anywhere a *collection of signatures*
+    is iterated to accumulate floats or build ordered output must sort by
+    this key first, or two runs of the same seed can diverge bit-for-bit
+    (float addition is not associative).  Sorting by (size, sorted names)
+    keeps the order stable and cheap to reason about.
+    """
+    return (len(signature), tuple(sorted(signature)))
+
+
+def sorted_atoms(signatures: Iterable[AtomSignature]) -> list:
+    """Signatures in canonical :func:`atom_sort_key` order."""
+    return sorted(signatures, key=atom_sort_key)
+
+
 class AtomSpace:
     """The set of eligibility atoms induced by a collection of requirements.
 
@@ -247,5 +265,7 @@ __all__ = [
     "GENERAL",
     "HIGH_PERFORMANCE",
     "MEMORY_RICH",
+    "atom_sort_key",
     "signature_of",
+    "sorted_atoms",
 ]

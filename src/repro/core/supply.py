@@ -22,7 +22,7 @@ from __future__ import annotations
 from collections import defaultdict, deque
 from typing import Deque, Dict, Iterable, List, Mapping, Optional, Tuple
 
-from .requirements import AtomSignature
+from .requirements import AtomSignature, sorted_atoms
 
 #: Seconds in the default averaging window (24 hours, per the paper).
 DEFAULT_WINDOW = 24 * 3600.0
@@ -122,9 +122,11 @@ class SupplyEstimator:
     # Queries
     # ------------------------------------------------------------------ #
     def observed_signatures(self) -> Tuple[AtomSignature, ...]:
-        """Signatures seen so far (plus any seeded priors)."""
+        """Signatures seen so far (plus any seeded priors), in canonical
+        order — hash order would leak ``PYTHONHASHSEED`` into downstream
+        float accumulation and break run-level reproducibility."""
         sigs = set(self._buckets) | set(self._prior)
-        return tuple(sigs)
+        return tuple(sorted_atoms(sigs))
 
     def _effective_span(self, now: float) -> float:
         """Length of the observation span to divide counts by."""
@@ -153,8 +155,14 @@ class SupplyEstimator:
     def rate_for_atoms(
         self, atoms: Iterable[AtomSignature], now: float
     ) -> float:
-        """Total arrival rate across a set of atoms (a requirement's supply)."""
-        return sum(self.rate(a, now) for a in set(map(frozenset, atoms)))
+        """Total arrival rate across a set of atoms (a requirement's supply).
+
+        Summed in canonical atom order so the floating-point result is
+        independent of set iteration (and therefore hash) order.
+        """
+        return sum(
+            self.rate(a, now) for a in sorted_atoms(set(map(frozenset, atoms)))
+        )
 
     def rates(self, now: float) -> Dict[AtomSignature, float]:
         """Arrival-rate estimate for every known atom."""

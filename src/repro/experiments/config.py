@@ -21,11 +21,28 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
+import numpy as np
+
 from ..sim.engine import SimulationConfig
 from ..sim.latency import LatencyConfig
 from ..traces.capacity import CapacityConfig
 from ..traces.device_trace import DAY, DiurnalConfig
 from ..traces.workloads import WorkloadConfig
+
+#: Named RNG streams of one experiment, each a fixed ``spawn_key`` child of
+#: the experiment's root :class:`numpy.random.SeedSequence`.  Deriving every
+#: nested seed this way (instead of ``seed + k`` offsets) guarantees that two
+#: configs with different root seeds can never end up sharing a stream — the
+#: property the sweep runner relies on when fanning out (scenario × seed)
+#: cells.
+SEED_STREAMS: Dict[str, int] = {
+    "devices": 0,
+    "availability": 1,
+    "workload": 2,
+    "simulation": 3,
+    "policy": 4,
+    "scenario": 5,
+}
 
 
 @dataclass
@@ -54,10 +71,48 @@ class ExperimentConfig:
             raise ValueError("num_devices and num_jobs must be positive")
         if self.horizon <= 0:
             raise ValueError("horizon must be positive")
-        # Keep nested configs consistent with the top-level knobs.
+        # Keep nested configs consistent with the top-level knobs.  The
+        # simulation seed is re-derived from the root seed here, so every
+        # ``replace``-based copy (``with_seed``, ``with_scenario``, ...)
+        # automatically refreshes it.
         self.workload = replace(self.workload, num_jobs=self.num_jobs)
         self.availability = replace(self.availability, horizon=self.horizon)
-        self.simulation = replace(self.simulation, horizon=self.horizon, seed=self.seed)
+        self.simulation = replace(
+            self.simulation, horizon=self.horizon, seed=self.seed_for("simulation")
+        )
+
+    # ------------------------------------------------------------------ #
+    # Seed derivation
+    # ------------------------------------------------------------------ #
+    def seed_sequence(self, stream: str) -> np.random.SeedSequence:
+        """The :class:`~numpy.random.SeedSequence` of one named RNG stream.
+
+        All component seeds of an experiment (device sampling, availability
+        trace, workload, simulation engine, policy) are children of the one
+        root seed, keyed by :data:`SEED_STREAMS`.  Two experiments with
+        different root seeds therefore use fully independent streams for
+        every component — unlike the previous ``seed + k`` offsets, where
+        e.g. seed 7's availability stream equalled seed 8's device stream.
+        """
+        if stream not in SEED_STREAMS:
+            raise ValueError(
+                f"unknown seed stream {stream!r}; expected one of "
+                f"{tuple(SEED_STREAMS)}"
+            )
+        return np.random.SeedSequence(
+            entropy=self.seed, spawn_key=(SEED_STREAMS[stream],)
+        )
+
+    def seed_for(self, stream: str) -> int:
+        """Integer seed for one named RNG stream (see :meth:`seed_sequence`).
+
+        128 bits of the stream's state are used: collapsing to a single
+        uint32 would re-introduce birthday collisions between the streams of
+        a large sweep (~10k cells x 6 streams has non-negligible odds of two
+        colliding in a 32-bit space).
+        """
+        state = self.seed_sequence(stream).generate_state(2, np.uint64)
+        return (int(state[0]) << 64) | int(state[1])
 
     def with_scenario(self, scenario: str, category_bias: Optional[str] = None) -> "ExperimentConfig":
         """Copy of this config with a different workload scenario."""
@@ -188,6 +243,7 @@ def get_config(name: str = "default", seed: int = 7) -> ExperimentConfig:
 
 __all__ = [
     "ExperimentConfig",
+    "SEED_STREAMS",
     "default_config",
     "get_config",
     "large_config",

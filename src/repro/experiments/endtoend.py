@@ -43,7 +43,7 @@ def run_policy(
 ) -> SimulationMetrics:
     """Run one policy against an environment and return its metrics."""
     policy = make_policy(
-        policy_name, seed=env.config.seed + 100, **(policy_kwargs or {})
+        policy_name, seed=env.config.seed_for("policy"), **(policy_kwargs or {})
     )
     sim = Simulator(
         devices=env.devices,

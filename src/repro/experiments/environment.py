@@ -32,29 +32,31 @@ class Environment:
 
 def build_devices(config: ExperimentConfig) -> List[DeviceProfile]:
     """Sample the device population for an experiment."""
-    sampler = CapacitySampler(config.capacity, seed=config.seed)
+    sampler = CapacitySampler(config.capacity, seed=config.seed_for("devices"))
     return sampler.sample_devices(config.num_devices)
 
 
 def build_availability(config: ExperimentConfig) -> DeviceAvailabilityTrace:
     """Generate the availability trace for the experiment's device ids."""
-    model = DiurnalAvailabilityModel(config.availability, seed=config.seed + 1)
+    model = DiurnalAvailabilityModel(
+        config.availability, seed=config.seed_for("availability")
+    )
     return model.generate(config.num_devices)
 
 
 def build_workload(config: ExperimentConfig) -> Workload:
     """Generate the CL job workload for the experiment."""
-    generator = WorkloadGenerator(config.workload, seed=config.seed + 2)
+    generator = WorkloadGenerator(config.workload, seed=config.seed_for("workload"))
     return generator.generate()
 
 
 def build_environment(config: ExperimentConfig) -> Environment:
     """Build devices, availability and workload from one configuration.
 
-    The three components use decorrelated child seeds derived from
-    ``config.seed`` so that the whole environment is reproducible while
-    avoiding accidental correlations between, say, device capacity and
-    availability.
+    Each component draws from its own named child stream of the root seed
+    (see :data:`~repro.experiments.config.SEED_STREAMS`), so the whole
+    environment is reproducible while component streams stay independent
+    both of each other and of every other root seed's streams.
     """
     return Environment(
         config=config,

@@ -1,0 +1,340 @@
+"""Parallel scenario sweep: fan (scenario × seed × policy) cells over workers.
+
+The sweep turns the repo from "reproduce the figures" into a scenario
+exploration harness: pick scenarios from the registry
+(:mod:`repro.scenarios`), a number of independent seeds and a set of
+scheduling policies, and the runner executes every cell of the matrix —
+optionally across a ``multiprocessing`` pool — writing one JSONL row per
+cell plus an aggregated per-(scenario, policy) summary
+(:mod:`repro.analysis.aggregate`).
+
+Determinism is the load-bearing property:
+
+* every (scenario, seed-index) pair gets its experiment root seed from
+  ``numpy.random.SeedSequence(root_seed).spawn(...)`` keyed purely by the
+  cell's position in the matrix, never by which worker runs it;
+* inside a cell, all component streams derive from that root seed via the
+  named streams of :class:`~repro.experiments.config.ExperimentConfig`;
+* rows are serialised with sorted keys and written in cell order.
+
+Together these make the JSONL output **byte-identical** for any worker
+count, which the property tests assert by diffing ``--workers 1`` against
+``--workers 2`` output.
+
+Command line::
+
+    python -m repro.experiments.sweep --smoke --workers 4 --out sweep.jsonl
+
+``--smoke`` runs a small 4-scenario × 2-seed × 1-policy matrix sized for CI;
+drop it (and pass ``--scenarios/--policies/--num-seeds``) for real sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import sys
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple
+
+import numpy as np
+
+from ..analysis.aggregate import aggregate_rows, format_aggregates, write_jsonl
+from ..scenarios import get_scenario, scenario_names
+from ..sim.metrics import SimulationMetrics
+from .config import ExperimentConfig, get_config
+from .endtoend import run_policy
+from .environment import Environment
+
+#: Matrix run by ``--smoke`` (and CI): the four beyond-paper scenarios,
+#: two seeds, the Venn scheduler — 8 cells.
+SMOKE_SCENARIOS: Tuple[str, ...] = (
+    "flash_crowd",
+    "churn_storm",
+    "straggler_heavy",
+    "multi_tenant",
+)
+SMOKE_POLICIES: Tuple[str, ...] = ("venn",)
+SMOKE_NUM_SEEDS = 2
+
+#: JCT percentiles recorded per cell.
+ROW_PERCENTILES: Tuple[float, ...] = (50.0, 99.0)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One cell of the sweep matrix.
+
+    ``entropy`` is the cell's experiment root seed, derived by
+    :func:`plan_cells` from the matrix position alone.  Cells that share a
+    (scenario, seed-index) but differ in policy share their entropy — all
+    policies see the same environment, keeping cross-policy comparisons
+    attributable to the scheduler.
+    """
+
+    index: int
+    scenario: str
+    seed_index: int
+    entropy: int
+    policy: str
+
+
+def plan_cells(
+    scenarios: Sequence[str],
+    num_seeds: int,
+    policies: Sequence[str],
+    root_seed: int = 0,
+) -> List[SweepCell]:
+    """Enumerate the (scenario × seed × policy) matrix deterministically."""
+    if num_seeds <= 0:
+        raise ValueError("num_seeds must be positive")
+    if not scenarios or not policies:
+        raise ValueError("need at least one scenario and one policy")
+    if len(set(scenarios)) != len(scenarios):
+        raise ValueError("duplicate scenario names in sweep")
+    if len(set(policies)) != len(policies):
+        raise ValueError("duplicate policy names in sweep")
+    # Fail fast on unknown scenarios (in the parent, not deep in a worker).
+    for name in scenarios:
+        get_scenario(name)
+    children = np.random.SeedSequence(root_seed).spawn(len(scenarios) * num_seeds)
+    cells: List[SweepCell] = []
+    index = 0
+    for si, scenario in enumerate(scenarios):
+        for ki in range(num_seeds):
+            entropy = int(children[si * num_seeds + ki].generate_state(1, np.uint32)[0])
+            for policy in policies:
+                cells.append(
+                    SweepCell(
+                        index=index,
+                        scenario=scenario,
+                        seed_index=ki,
+                        entropy=entropy,
+                        policy=policy,
+                    )
+                )
+                index += 1
+    return cells
+
+
+def smoke_base_config(seed: int) -> ExperimentConfig:
+    """The base config behind ``--smoke``: ``quick`` with a doubled device
+    pool and a few more jobs, so each cell is substantial enough (~0.2 s)
+    that the worker pool's fork/IPC overhead cannot mask the parallel
+    speedup CI asserts."""
+    base = get_config("quick", seed=seed)
+    return replace(
+        base,
+        name="smoke",
+        num_devices=1600,
+        num_jobs=20,
+        workload=replace(base.workload, mean_interarrival=900.0),
+    )
+
+
+def build_cell_environment(
+    cell: SweepCell, preset: str = "quick", smoke: bool = False
+) -> Environment:
+    """Materialise a cell's environment (scenario applied to the base preset)."""
+    if smoke:
+        base = smoke_base_config(seed=cell.entropy)
+    else:
+        base = get_config(preset, seed=cell.entropy)
+    return get_scenario(cell.scenario).build_environment(base)
+
+
+def _metrics_row(cell: SweepCell, metrics: SimulationMetrics, env: Environment) -> Dict:
+    percentiles = metrics.jct_percentiles(ROW_PERCENTILES)
+    return {
+        "cell": cell.index,
+        "scenario": cell.scenario,
+        "seed_index": cell.seed_index,
+        "entropy": cell.entropy,
+        "policy": cell.policy,
+        "num_devices": env.num_devices,
+        "num_jobs": env.num_jobs,
+        "average_jct": metrics.average_jct,
+        "p50_jct": percentiles[50.0],
+        "p99_jct": percentiles[99.0],
+        "completion_rate": metrics.completion_rate,
+        "sla_attainment": metrics.sla_attainment(),
+        "error_rate": metrics.error_rate,
+        "average_scheduling_delay": metrics.average_scheduling_delay,
+        "average_response_time": metrics.average_response_time,
+        "total_aborts": metrics.total_aborts,
+        "total_checkins": metrics.total_checkins,
+        "total_responses": metrics.total_responses,
+        "total_failures": metrics.total_failures,
+        "job_jcts": sorted(metrics.job_jcts().values()),
+    }
+
+
+def run_cell(cell: SweepCell, preset: str = "quick", smoke: bool = False) -> Dict:
+    """Run one cell end to end and return its JSONL row (a plain dict).
+
+    Delegates to :func:`~repro.experiments.endtoend.run_policy` so sweep
+    cells share one policy-seeding / simulator-wiring convention with the
+    table/figure drivers — rows stay comparable with runner output.
+    """
+    spec = get_scenario(cell.scenario)
+    env = build_cell_environment(cell, preset=preset, smoke=smoke)
+    metrics = run_policy(
+        env, cell.policy, dict(spec.policy_kwargs.get(cell.policy, {}))
+    )
+    return _metrics_row(cell, metrics, env)
+
+
+def _run_cell_task(args: Tuple[SweepCell, str, bool]) -> Dict:
+    cell, preset, smoke = args
+    return run_cell(cell, preset=preset, smoke=smoke)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """``fork`` where available (workers inherit ``sys.path`` patched by the
+    repo's conftest), else ``spawn`` (needs ``PYTHONPATH=src``).  Overridable
+    via ``REPRO_SWEEP_START_METHOD`` for debugging."""
+    method = os.environ.get("REPRO_SWEEP_START_METHOD")
+    if method is None:
+        method = (
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+    return multiprocessing.get_context(method)
+
+
+def run_sweep(
+    cells: Sequence[SweepCell],
+    preset: str = "quick",
+    smoke: bool = False,
+    workers: int = 1,
+    out_path: Optional[str] = None,
+    log: Optional[TextIO] = None,
+) -> List[Dict]:
+    """Run every cell (serially or over a worker pool) and return the rows.
+
+    Rows come back in cell order regardless of scheduling; when ``out_path``
+    is given they are also written there as JSONL (sorted keys, one row per
+    line) so the bytes are reproducible for a fixed matrix and root seed.
+    """
+    if workers <= 0:
+        raise ValueError("workers must be positive")
+    tasks = [(cell, preset, smoke) for cell in cells]
+    started = time.perf_counter()
+    if workers == 1 or len(cells) <= 1:
+        rows = [_run_cell_task(task) for task in tasks]
+    else:
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(workers, len(cells))) as pool:
+            # Ordered map keeps rows aligned with cell indices; chunksize 1
+            # load-balances uneven scenario runtimes across the pool.
+            rows = pool.map(_run_cell_task, tasks, chunksize=1)
+    elapsed = time.perf_counter() - started
+    if log is not None:
+        log.write(
+            f"ran {len(rows)} cells with {workers} worker(s) "
+            f"in {elapsed:.2f}s\n"
+        )
+    if out_path:
+        write_jsonl(rows, out_path)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+def _parse_names(raw: str, kind: str) -> List[str]:
+    names = [token.strip() for token in raw.split(",") if token.strip()]
+    if not names:
+        raise argparse.ArgumentTypeError(f"no {kind} given")
+    return names
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Parallel (scenario x seed x policy) sweep runner."
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the fixed CI matrix (4 beyond-paper scenarios x 2 seeds x "
+        "venn) on a shrunken base config",
+    )
+    parser.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma-separated scenario names (default: all registered)",
+    )
+    parser.add_argument(
+        "--policies",
+        default="random,venn",
+        help="comma-separated policy names (default: random,venn)",
+    )
+    parser.add_argument("--num-seeds", type=int, default=3)
+    parser.add_argument("--root-seed", type=int, default=0)
+    parser.add_argument(
+        "--preset",
+        default="quick",
+        choices=["quick", "default", "large"],
+        help="base experiment preset scenarios are applied to",
+    )
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--out", default=None, help="JSONL output path")
+    parser.add_argument(
+        "--list-scenarios", action="store_true", help="print scenarios and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_scenarios:
+        for name in scenario_names():
+            spec = get_scenario(name)
+            tags = ",".join(spec.tags)
+            print(f"{name:18s} [{tags}] {spec.description}")
+        return 0
+
+    if args.smoke:
+        scenarios: Sequence[str] = SMOKE_SCENARIOS
+        policies: Sequence[str] = SMOKE_POLICIES
+        num_seeds = SMOKE_NUM_SEEDS
+    else:
+        scenarios = (
+            _parse_names(args.scenarios, "scenarios")
+            if args.scenarios
+            else scenario_names()
+        )
+        policies = _parse_names(args.policies, "policies")
+        num_seeds = args.num_seeds
+
+    cells = plan_cells(scenarios, num_seeds, policies, root_seed=args.root_seed)
+    rows = run_sweep(
+        cells,
+        preset=args.preset,
+        smoke=args.smoke,
+        workers=args.workers,
+        out_path=args.out,
+        log=sys.stderr,
+    )
+    print(format_aggregates(aggregate_rows(rows)))
+    if args.out:
+        print(f"wrote {len(rows)} rows to {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())
+
+
+__all__ = [
+    "ROW_PERCENTILES",
+    "SMOKE_NUM_SEEDS",
+    "SMOKE_POLICIES",
+    "SMOKE_SCENARIOS",
+    "SweepCell",
+    "build_cell_environment",
+    "main",
+    "plan_cells",
+    "run_cell",
+    "run_sweep",
+    "smoke_base_config",
+]

@@ -1,0 +1,47 @@
+"""Declarative scenario subsystem: specs, registry and built-in library.
+
+Importing the package registers the built-in scenarios, so
+
+>>> from repro.scenarios import get_scenario
+>>> get_scenario("flash_crowd")
+
+works without further setup.  See ``docs/SCENARIOS.md``.
+"""
+
+from .library import BEYOND_PAPER_SCENARIOS
+from .registry import (
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    unregister_scenario,
+)
+from .spec import (
+    AvailabilityTransform,
+    ScenarioSpec,
+    WorkloadTransform,
+    validate_environment,
+)
+from .transforms import (
+    DEFAULT_TIERS,
+    assign_priority_tiers,
+    compress_arrivals,
+    inject_churn_storms,
+)
+
+__all__ = [
+    "AvailabilityTransform",
+    "BEYOND_PAPER_SCENARIOS",
+    "DEFAULT_TIERS",
+    "ScenarioSpec",
+    "WorkloadTransform",
+    "all_scenarios",
+    "assign_priority_tiers",
+    "compress_arrivals",
+    "get_scenario",
+    "inject_churn_storms",
+    "register_scenario",
+    "scenario_names",
+    "unregister_scenario",
+    "validate_environment",
+]

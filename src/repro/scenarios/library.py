@@ -1,0 +1,140 @@
+"""Built-in scenario library.
+
+Two families are registered on import:
+
+* the **paper** scenarios — the five demand scenarios of §5.1 and the four
+  category-biased workloads of §5.4, expressed as pure workload-config
+  overrides; and
+* four **beyond-paper** scenarios exercising regimes the paper does not
+  evaluate:
+
+  - ``flash_crowd``   — a large fraction of the jobs arrives in one burst
+    instead of trickling in via the Poisson process;
+  - ``churn_storm``   — correlated mass dropouts: most of the online
+    population disappears simultaneously (and later re-checks in) at fixed
+    points in the horizon;
+  - ``straggler_heavy`` — the capacity distribution is shifted down and its
+    tail stretched, so rounds wait on much slower stragglers;
+  - ``multi_tenant``  — jobs belong to gold/silver/bronze tenants with
+    tiered round deadlines, plus a finer device-tier quantisation for the
+    Venn matcher.
+
+See ``docs/SCENARIOS.md`` for knob-by-knob descriptions and for how to add a
+scenario of your own.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from ..traces.workloads import BIAS_SCENARIOS, DEMAND_SCENARIOS
+from .registry import register_scenario
+from .spec import ScenarioSpec
+from .transforms import (
+    assign_priority_tiers,
+    compress_arrivals,
+    inject_churn_storms,
+)
+
+#: Names of the four beyond-paper scenarios, in doc order.
+BEYOND_PAPER_SCENARIOS = (
+    "flash_crowd",
+    "churn_storm",
+    "straggler_heavy",
+    "multi_tenant",
+)
+
+
+def _register_paper_scenarios() -> None:
+    for scenario in DEMAND_SCENARIOS:
+        register_scenario(
+            ScenarioSpec(
+                name=scenario,
+                description=f"§5.1 demand scenario {scenario!r}",
+                workload={"scenario": scenario, "category_bias": None},
+                tags=("paper", "demand"),
+            )
+        )
+    for bias in BIAS_SCENARIOS:
+        register_scenario(
+            ScenarioSpec(
+                name=bias,
+                description=f"§5.4 category-biased workload {bias!r}",
+                workload={"scenario": "even", "category_bias": bias},
+                tags=("paper", "bias"),
+            )
+        )
+
+
+def _register_beyond_paper_scenarios() -> None:
+    register_scenario(
+        ScenarioSpec(
+            name="flash_crowd",
+            description=(
+                "70% of the jobs arrive in one 15-minute burst at 20% of the "
+                "horizon, on top of the usual Poisson background arrivals"
+            ),
+            workload_transform=partial(
+                compress_arrivals,
+                burst_fraction=0.7,
+                burst_at=0.2,
+                burst_window=900.0,
+            ),
+            tags=("beyond-paper",),
+        )
+    )
+    register_scenario(
+        ScenarioSpec(
+            name="churn_storm",
+            description=(
+                "two 30-minute storms, evenly spaced, each knocking 80% of "
+                "the devices offline simultaneously; survivors of a session "
+                "re-check in when the storm passes"
+            ),
+            availability_transform=partial(
+                inject_churn_storms,
+                num_storms=2,
+                storm_duration=1800.0,
+                dropout_fraction=0.8,
+            ),
+            tags=("beyond-paper",),
+        )
+    )
+    register_scenario(
+        ScenarioSpec(
+            name="straggler_heavy",
+            description=(
+                "capacity distribution shifted towards weak hardware with a "
+                "14x worst-case slowdown and noisier per-task compute times "
+                "— rounds wait on a long straggler tail"
+            ),
+            capacity={
+                "cpu_mu": -0.75,
+                "mem_mu": -0.6,
+                "sigma": 0.65,
+                "max_slowdown": 14.0,
+            },
+            latency={"compute_sigma": 0.6},
+            tags=("beyond-paper",),
+        )
+    )
+    register_scenario(
+        ScenarioSpec(
+            name="multi_tenant",
+            description=(
+                "gold/silver/bronze tenant tiers (20/30/50% of jobs) with "
+                "0.6x/1.0x/1.5x round deadlines; Venn quantises supply into "
+                "6 device tiers to discriminate better between tenants"
+            ),
+            workload_transform=partial(assign_priority_tiers),
+            policy_kwargs={"venn": {"num_tiers": 6}},
+            tags=("beyond-paper",),
+        )
+    )
+
+
+_register_paper_scenarios()
+_register_beyond_paper_scenarios()
+
+
+__all__ = ["BEYOND_PAPER_SCENARIOS"]

@@ -1,0 +1,184 @@
+"""Workload / availability transforms used by the scenario library.
+
+Each transform is a pure, module-level function (picklable for the sweep's
+worker processes) with the :data:`~repro.scenarios.spec.WorkloadTransform` or
+:data:`~repro.scenarios.spec.AvailabilityTransform` signature.  Scenario
+specs bind knobs with :func:`functools.partial`.
+
+Transforms only *reshape* artefacts produced by the generators in
+:mod:`repro.traces` — they never fabricate devices or jobs from scratch, so
+every invariant the generators guarantee (unique ids, positive demands,
+sessions inside the horizon) is preserved by construction and re-checked by
+:func:`repro.scenarios.spec.validate_environment` in the property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..experiments.config import ExperimentConfig
+from ..traces.device_trace import AvailabilitySession, DeviceAvailabilityTrace
+from ..traces.workloads import Workload
+
+
+def compress_arrivals(
+    workload: Workload,
+    rng: np.random.Generator,
+    config: ExperimentConfig,
+    *,
+    burst_fraction: float = 0.7,
+    burst_at: float = 0.2,
+    burst_window: float = 900.0,
+) -> Workload:
+    """Flash crowd: herd a fraction of the jobs into one arrival burst.
+
+    Each job joins the burst independently with probability
+    ``burst_fraction``; burst arrivals are redrawn uniformly inside the
+    ``burst_window``-second window starting at ``burst_at × horizon``.
+    Non-burst jobs keep their Poisson arrival times, so the scenario layers a
+    flash crowd *on top of* the background process instead of replacing it.
+    """
+    if not (0.0 < burst_fraction <= 1.0):
+        raise ValueError("burst_fraction must be in (0, 1]")
+    if not (0.0 <= burst_at < 1.0):
+        raise ValueError("burst_at must be in [0, 1)")
+    if burst_window <= 0:
+        raise ValueError("burst_window must be positive")
+    start = burst_at * config.horizon
+    window = min(burst_window, max(config.horizon - start, 1.0))
+    jobs = []
+    for job in workload.jobs:
+        if rng.random() < burst_fraction:
+            jobs.append(
+                replace(job, arrival_time=float(start + rng.uniform(0.0, window)))
+            )
+        else:
+            jobs.append(job)
+    return Workload(
+        config=workload.config,
+        jobs=jobs,
+        trace=workload.trace,
+        categories=dict(workload.categories),
+    )
+
+
+def inject_churn_storms(
+    trace: DeviceAvailabilityTrace,
+    rng: np.random.Generator,
+    config: ExperimentConfig,
+    *,
+    num_storms: int = 2,
+    storm_duration: float = 1800.0,
+    dropout_fraction: float = 0.8,
+) -> DeviceAvailabilityTrace:
+    """Churn storm: correlated mass dropouts at fixed points in the horizon.
+
+    ``num_storms`` windows of ``storm_duration`` seconds are spaced evenly
+    across the horizon.  During each window every device is affected
+    independently with probability ``dropout_fraction``: its sessions are
+    truncated at the storm's start and resume (as a fresh session, i.e. a new
+    check-in) at the storm's end.  Devices already offline are unaffected —
+    the storm models a push gone wrong / network partition, not a blackout of
+    the whole population.
+    """
+    if num_storms <= 0:
+        raise ValueError("num_storms must be positive")
+    if storm_duration <= 0:
+        raise ValueError("storm_duration must be positive")
+    if not (0.0 < dropout_fraction <= 1.0):
+        raise ValueError("dropout_fraction must be in (0, 1]")
+    horizon = trace.horizon
+    windows = []
+    for i in range(num_storms):
+        centre = horizon * (i + 1) / (num_storms + 1)
+        start = max(0.0, centre - storm_duration / 2.0)
+        end = min(horizon, start + storm_duration)
+        if end > start:
+            windows.append((start, end))
+    sessions = list(trace.sessions)
+    device_ids = sorted({s.device_id for s in sessions})
+    for storm_start, storm_end in windows:
+        affected = {
+            d for d in device_ids if rng.random() < dropout_fraction
+        }
+        survivors = []
+        for s in sessions:
+            if (
+                s.device_id not in affected
+                or s.end <= storm_start
+                or s.start >= storm_end
+            ):
+                survivors.append(s)
+                continue
+            if s.start < storm_start:
+                survivors.append(
+                    AvailabilitySession(s.device_id, s.start, storm_start)
+                )
+            if s.end > storm_end:
+                survivors.append(AvailabilitySession(s.device_id, storm_end, s.end))
+        sessions = survivors
+    return DeviceAvailabilityTrace(horizon=horizon, sessions=sessions)
+
+
+#: ``(tier name, population fraction, round-deadline scale)`` triples.  Gold
+#: tenants get tight deadlines (they abort rather than wait), bronze tenants
+#: tolerate slack ones.
+DEFAULT_TIERS: Tuple[Tuple[str, float, float], ...] = (
+    ("gold", 0.2, 0.6),
+    ("silver", 0.3, 1.0),
+    ("bronze", 0.5, 1.5),
+)
+
+
+def assign_priority_tiers(
+    workload: Workload,
+    rng: np.random.Generator,
+    config: ExperimentConfig,
+    *,
+    tiers: Sequence[Tuple[str, float, float]] = DEFAULT_TIERS,
+) -> Workload:
+    """Multi-tenant tiers: split jobs across tenant classes by deadline.
+
+    Every job is assigned a tier by sampling the tier fractions; its
+    per-round deadline is scaled by the tier's factor and its name prefixed
+    with the tier so per-tier slices can be recovered from metrics rows.
+    """
+    if not tiers:
+        raise ValueError("need at least one tier")
+    fractions = np.array([f for _, f, _ in tiers], dtype=float)
+    if np.any(fractions <= 0) or not np.isclose(fractions.sum(), 1.0):
+        raise ValueError("tier fractions must be positive and sum to 1")
+    for _, _, scale in tiers:
+        if scale <= 0:
+            raise ValueError("deadline scales must be positive")
+    cumulative = np.cumsum(fractions)
+    jobs = []
+    for job in workload.jobs:
+        draw = rng.random()
+        tier_idx = int(np.searchsorted(cumulative, draw, side="right"))
+        tier_idx = min(tier_idx, len(tiers) - 1)
+        tier_name, _, scale = tiers[tier_idx]
+        jobs.append(
+            replace(
+                job,
+                round_deadline=job.round_deadline * scale,
+                name=f"{tier_name}:{job.name}",
+            )
+        )
+    return Workload(
+        config=workload.config,
+        jobs=jobs,
+        trace=workload.trace,
+        categories=dict(workload.categories),
+    )
+
+
+__all__ = [
+    "DEFAULT_TIERS",
+    "assign_priority_tiers",
+    "compress_arrivals",
+    "inject_churn_storms",
+]

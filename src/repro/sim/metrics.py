@@ -35,6 +35,16 @@ class JobMetrics:
     response_times: List[float] = field(default_factory=list)
     aborted_rounds: int = 0
     rounds_completed: int = 0
+    #: Per-round deadline of the job's spec; 0 means unknown (job excluded
+    #: from deadline-based SLO accounting).
+    round_deadline: float = 0.0
+
+    @property
+    def slo_target(self) -> float:
+        """Deadline-derived JCT budget: every round finishing exactly at its
+        deadline once, with no aborted attempts.  0 when the deadline is
+        unknown."""
+        return self.num_rounds * self.round_deadline
 
     @property
     def mean_scheduling_delay(self) -> float:
@@ -107,6 +117,57 @@ class SimulationMetrics:
         times = [t for m in self.jobs.values() for t in m.response_times]
         return float(np.mean(times)) if times else 0.0
 
+    def jct_percentile(self, p: float) -> float:
+        """``p``-th percentile of per-job JCTs (censored to the horizon).
+
+        Returns 0.0 for an empty run.  With a single job every percentile is
+        that job's JCT; numpy's linear interpolation handles the rest.
+        """
+        if not (0.0 <= p <= 100.0):
+            raise ValueError("percentile must be in [0, 100]")
+        jcts = list(self.job_jcts().values())
+        if not jcts:
+            return 0.0
+        return float(np.percentile(np.asarray(jcts, dtype=float), p))
+
+    def jct_percentiles(
+        self, percentiles: Sequence[float] = (50.0, 99.0)
+    ) -> Dict[float, float]:
+        """Several JCT percentiles at once (sweep rows report p50/p99)."""
+        return {float(p): self.jct_percentile(p) for p in percentiles}
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of device responses that were failures (dropouts)."""
+        attempts = self.total_responses + self.total_failures
+        if attempts <= 0:
+            return 0.0
+        return self.total_failures / attempts
+
+    def sla_attainment(self, slo_scale: float = 2.0) -> float:
+        """Fraction of jobs that completed within ``slo_scale ×`` their
+        deadline-derived JCT budget (:attr:`JobMetrics.slo_target`).
+
+        A job's budget is ``num_rounds × round_deadline`` — the JCT it would
+        have if every round barely met its deadline with no aborts — so
+        ``slo_scale`` is the number of "worst-case rounds" the operator
+        tolerates per round on average.  Jobs with an unknown deadline are
+        excluded; an unfinished job never attains its SLA.  Returns 0.0 when
+        no job carries a deadline.
+        """
+        if slo_scale <= 0:
+            raise ValueError("slo_scale must be positive")
+        counted = 0
+        attained = 0
+        for jm in self.jobs.values():
+            target = jm.slo_target
+            if target <= 0:
+                continue
+            counted += 1
+            if jm.completed and jm.jct is not None and jm.jct <= slo_scale * target:
+                attained += 1
+        return attained / counted if counted else 0.0
+
     # ------------------------------------------------------------------ #
     # Slicing (Tables 2 and 3)
     # ------------------------------------------------------------------ #
@@ -168,6 +229,7 @@ def collect_job_metrics(
         response_times=resp,
         aborted_rounds=aborted,
         rounds_completed=runtime.rounds_completed,
+        round_deadline=spec.round_deadline,
     )
 
 

@@ -120,3 +120,81 @@ class TestFairnessController:
         assert big.adjusted_demand(1, demand, now, m) <= small.adjusted_demand(
             1, demand, now, m
         ) + 1e-9
+
+
+class TestFairnessMonotonicity:
+    """Monotonicity of the knob in its three inputs: elapsed time, fair-share
+    target and ε (§4.4: jobs ahead of their fair share lose priority
+    smoothly, never discontinuously)."""
+
+    @given(
+        epsilon=st.floats(min_value=0.1, max_value=6.0),
+        t_small=st.floats(min_value=0.0, max_value=1e5),
+        t_delta=st.floats(min_value=0.0, max_value=1e5),
+        m=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_adjusted_demand_monotone_in_elapsed_time(
+        self, epsilon, t_small, t_delta, m
+    ):
+        """More time in the system can only raise a job's adjusted demand
+        (i.e. weaken its boost) — never lower it."""
+        ctrl = FairnessController(epsilon=epsilon)
+        ctrl.register_job(make_job(job_id=1), now=0.0, solo_jct=500.0)
+        early = ctrl.adjusted_demand(1, 100.0, now=t_small, num_active_jobs=m)
+        late = ctrl.adjusted_demand(
+            1, 100.0, now=t_small + t_delta, num_active_jobs=m
+        )
+        assert late >= early - 1e-9
+
+    @given(
+        epsilon=st.floats(min_value=0.1, max_value=6.0),
+        m_small=st.integers(min_value=1, max_value=20),
+        m_extra=st.integers(min_value=0, max_value=80),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_adjusted_demand_antitone_in_active_jobs(
+        self, epsilon, m_small, m_extra
+    ):
+        """More concurrent jobs means a larger fair-share target, hence a
+        stronger boost (smaller adjusted demand)."""
+        ctrl = FairnessController(epsilon=epsilon)
+        ctrl.register_job(make_job(job_id=1), now=0.0, solo_jct=100.0)
+        crowded = ctrl.adjusted_demand(
+            1, 50.0, now=300.0, num_active_jobs=m_small + m_extra
+        )
+        quiet = ctrl.adjusted_demand(1, 50.0, now=300.0, num_active_jobs=m_small)
+        assert crowded <= quiet + 1e-9
+
+    @given(
+        epsilon=st.floats(min_value=0.0, max_value=6.0),
+        elapsed=st.floats(min_value=0.0, max_value=1e6),
+        m=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_queue_length_adjustment_finite_and_positive(
+        self, epsilon, elapsed, m
+    ):
+        ctrl = FairnessController(epsilon=epsilon)
+        ctrl.register_job(make_job(job_id=1), now=0.0, solo_jct=100.0)
+        adjusted = ctrl.adjusted_queue_length(
+            [1], 4.0, now=elapsed, num_active_jobs=m
+        )
+        assert 0.0 < adjusted < float("inf")
+
+    @given(
+        eps_small=st.floats(min_value=0.0, max_value=3.0),
+        eps_delta=st.floats(min_value=0.0, max_value=5.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_larger_epsilon_amplifies_the_penalty(self, eps_small, eps_delta):
+        """Dual of the boost property: for a job past its fair share, larger
+        ε inflates the adjusted demand at least as much."""
+        demand, solo, now, m = 100.0, 10.0, 10_000.0, 2
+        small = FairnessController(epsilon=eps_small)
+        big = FairnessController(epsilon=eps_small + eps_delta)
+        for ctrl in (small, big):
+            ctrl.register_job(make_job(job_id=1), now=0.0, solo_jct=solo)
+        assert big.adjusted_demand(1, demand, now, m) >= small.adjusted_demand(
+            1, demand, now, m
+        ) - 1e-9

@@ -1,0 +1,263 @@
+"""Unit tests for the scenario subsystem: registry, spec application and the
+behaviour of each built-in beyond-paper scenario."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import quick_config
+from repro.scenarios import (
+    BEYOND_PAPER_SCENARIOS,
+    ScenarioSpec,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    unregister_scenario,
+    validate_environment,
+)
+from repro.scenarios.transforms import (
+    assign_priority_tiers,
+    compress_arrivals,
+    inject_churn_storms,
+)
+from repro.traces.workloads import BIAS_SCENARIOS, DEMAND_SCENARIOS
+
+DAY = 24 * 3600.0
+
+
+def tiny_base(seed: int = 11):
+    base = quick_config(seed=seed)
+    return replace(
+        base,
+        num_devices=150,
+        num_jobs=8,
+        horizon=0.5 * DAY,
+        workload=replace(base.workload, trace_size=80),
+    )
+
+
+class TestRegistry:
+    def test_paper_and_beyond_paper_scenarios_registered(self):
+        names = set(scenario_names())
+        assert set(DEMAND_SCENARIOS) <= names
+        assert set(BIAS_SCENARIOS) <= names
+        assert set(BEYOND_PAPER_SCENARIOS) <= names
+
+    def test_tag_filter(self):
+        assert set(scenario_names(tag="beyond-paper")) == set(
+            BEYOND_PAPER_SCENARIOS
+        )
+        assert set(scenario_names(tag="paper")) == set(DEMAND_SCENARIOS) | set(
+            BIAS_SCENARIOS
+        )
+
+    def test_unknown_scenario_error_lists_known_names(self):
+        with pytest.raises(KeyError, match="flash_crowd"):
+            get_scenario("no_such_scenario")
+
+    def test_duplicate_registration_rejected(self):
+        spec = ScenarioSpec(name="tmp_dup")
+        register_scenario(spec)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_scenario(ScenarioSpec(name="tmp_dup"))
+            register_scenario(
+                ScenarioSpec(name="tmp_dup", description="v2"), overwrite=True
+            )
+            assert get_scenario("tmp_dup").description == "v2"
+        finally:
+            unregister_scenario("tmp_dup")
+        assert "tmp_dup" not in all_scenarios()
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="")
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", num_devices=0)
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", horizon=-1.0)
+
+
+class TestSpecApplication:
+    def test_overrides_reach_nested_configs(self):
+        spec = ScenarioSpec(
+            name="t",
+            num_devices=99,
+            num_jobs=5,
+            workload={"mean_interarrival": 123.0},
+            availability={"peak_availability": 0.4},
+            capacity={"max_slowdown": 9.0},
+            simulation={"enforce_daily_limit": False},
+            latency={"compute_sigma": 0.5},
+        )
+        cfg = spec.apply(tiny_base())
+        assert cfg.num_devices == 99
+        assert cfg.num_jobs == 5
+        assert cfg.workload.num_jobs == 5  # kept in sync by __post_init__
+        assert cfg.workload.mean_interarrival == 123.0
+        assert cfg.availability.peak_availability == 0.4
+        assert cfg.capacity.max_slowdown == 9.0
+        assert cfg.simulation.enforce_daily_limit is False
+        assert cfg.simulation.latency.compute_sigma == 0.5
+        assert "/t" in cfg.name
+
+    def test_unknown_override_key_fails_fast(self):
+        with pytest.raises(TypeError):
+            ScenarioSpec(name="t", workload={"no_such_knob": 1}).apply(tiny_base())
+
+    def test_overrides_owned_by_top_level_knobs_rejected(self):
+        """Keys that ExperimentConfig.__post_init__ re-derives would be
+        silently clobbered, so the spec refuses them at construction."""
+        with pytest.raises(ValueError, match="num_jobs"):
+            ScenarioSpec(name="t", workload={"num_jobs": 30})
+        with pytest.raises(ValueError, match="horizon"):
+            ScenarioSpec(name="t", availability={"horizon": 100.0})
+        with pytest.raises(ValueError, match="root seed"):
+            ScenarioSpec(name="t", simulation={"seed": 1})
+
+    def test_build_environment_is_deterministic(self):
+        spec = get_scenario("flash_crowd")
+        a = spec.build_environment(tiny_base(seed=5))
+        b = spec.build_environment(tiny_base(seed=5))
+        assert [j.arrival_time for j in a.workload.jobs] == [
+            j.arrival_time for j in b.workload.jobs
+        ]
+        assert a.availability.checkin_events() == b.availability.checkin_events()
+
+    def test_validate_environment_flags_job_count_mismatch(self):
+        env = get_scenario("even").build_environment(tiny_base())
+        env.workload.jobs.pop()
+        with pytest.raises(AssertionError, match="job count"):
+            validate_environment(env)
+
+
+class TestFlashCrowd:
+    def test_burst_concentrates_arrivals(self):
+        base = tiny_base(seed=21)
+        plain = get_scenario("even").build_environment(base)
+        crowd = get_scenario("flash_crowd").build_environment(base)
+        start = 0.2 * base.horizon
+        window = (start, start + 900.0)
+
+        def in_burst(env):
+            return sum(
+                1
+                for j in env.workload.jobs
+                if window[0] <= j.arrival_time <= window[1]
+            )
+
+        assert in_burst(crowd) > in_burst(plain)
+        assert in_burst(crowd) >= 0.5 * len(crowd.workload.jobs)
+
+    def test_transform_knob_validation(self):
+        env = get_scenario("even").build_environment(tiny_base())
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            compress_arrivals(env.workload, rng, env.config, burst_fraction=0.0)
+        with pytest.raises(ValueError):
+            compress_arrivals(env.workload, rng, env.config, burst_at=1.0)
+        with pytest.raises(ValueError):
+            compress_arrivals(env.workload, rng, env.config, burst_window=0.0)
+
+
+class TestChurnStorm:
+    def test_full_dropout_empties_storm_windows(self):
+        env = get_scenario("even").build_environment(tiny_base(seed=31))
+        rng = np.random.default_rng(0)
+        stormed = inject_churn_storms(
+            env.availability,
+            rng,
+            env.config,
+            num_storms=1,
+            storm_duration=3600.0,
+            dropout_fraction=1.0,
+        )
+        horizon = env.config.horizon
+        centre = horizon / 2.0
+        start, end = centre - 1800.0, centre - 1800.0 + 3600.0
+        for s in stormed.sessions:
+            assert s.end <= start or s.start >= end, (
+                f"session [{s.start}, {s.end}] overlaps storm [{start}, {end}]"
+            )
+
+    def test_partial_dropout_reduces_midstorm_population(self):
+        base = tiny_base(seed=31)
+        plain = get_scenario("even").build_environment(base)
+        stormed = get_scenario("churn_storm").build_environment(base)
+        # The registered scenario uses two storms at 1/3 and 2/3 of the
+        # horizon with an 80% dropout.
+        t = base.horizon / 3.0
+
+        def online_at(trace, when):
+            return sum(1 for s in trace.sessions if s.start <= when < s.end)
+
+        assert online_at(stormed.availability, t) < online_at(
+            plain.availability, t
+        )
+
+    def test_transform_knob_validation(self):
+        env = get_scenario("even").build_environment(tiny_base())
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            inject_churn_storms(env.availability, rng, env.config, num_storms=0)
+        with pytest.raises(ValueError):
+            inject_churn_storms(
+                env.availability, rng, env.config, dropout_fraction=1.5
+            )
+
+
+class TestStragglerHeavy:
+    def test_capacity_and_latency_overrides(self):
+        cfg = get_scenario("straggler_heavy").apply(tiny_base())
+        assert cfg.capacity.max_slowdown == 14.0
+        assert cfg.simulation.latency.compute_sigma == 0.6
+
+    def test_population_is_slower_on_average(self):
+        base = tiny_base(seed=41)
+        plain = get_scenario("even").build_environment(base)
+        heavy = get_scenario("straggler_heavy").build_environment(base)
+        mean_speed = lambda env: np.mean([d.speed_factor for d in env.devices])
+        assert mean_speed(heavy) > 1.5 * mean_speed(plain)
+
+
+class TestMultiTenant:
+    def test_every_job_gets_a_tier_and_scaled_deadline(self):
+        env = get_scenario("multi_tenant").build_environment(tiny_base(seed=51))
+        tiers = {"gold": 0.6, "silver": 1.0, "bronze": 1.5}
+        seen = set()
+        base_env = get_scenario("even").build_environment(tiny_base(seed=51))
+        base_deadlines = {
+            j.job_id: j.round_deadline for j in base_env.workload.jobs
+        }
+        for job in env.workload.jobs:
+            tier = job.name.split(":", 1)[0]
+            assert tier in tiers, f"job {job.name!r} has no tier prefix"
+            seen.add(tier)
+            assert job.round_deadline == pytest.approx(
+                base_deadlines[job.job_id] * tiers[tier]
+            )
+        assert len(seen) >= 2  # 8 jobs should hit at least two tiers
+
+    def test_venn_policy_kwargs_request_six_tiers(self):
+        assert get_scenario("multi_tenant").policy_kwargs["venn"] == {
+            "num_tiers": 6
+        }
+
+    def test_tier_fraction_validation(self):
+        env = get_scenario("even").build_environment(tiny_base())
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            assign_priority_tiers(
+                env.workload, rng, env.config, tiers=(("a", 0.5, 1.0),)
+            )
+        with pytest.raises(ValueError):
+            assign_priority_tiers(
+                env.workload,
+                rng,
+                env.config,
+                tiers=(("a", 0.5, 1.0), ("b", 0.5, 0.0)),
+            )

@@ -6,42 +6,65 @@ complexity claim at realistic scale: it sweeps synthetic traces of
 records, per cell,
 
 * end-to-end events/sec of the simulation main loop,
-* p50/p99 latency of the policy's per-device ``assign`` decision, and
-* plan-rebuild counts (for Venn).
+* p50/p99/p99.9 latency of the policy's per-device ``assign`` decision,
+* plan-maintenance work: full rebuilds, incremental in-place updates
+  (= rebuilds avoided), index patch sizes and the wall-time share spent
+  maintaining the plan (see ``repro/sim/profile.py``), and
+* a decision hash — a digest of the full ``(time, device, job)``
+  assignment sequence — so different code paths can be asserted
+  bit-identical, not just similar.
 
-Two code paths can be measured:
+Axes that can be compared:
 
-* the default **indexed** fast path (``AtomIndex`` + signature-bucketed
-  idle pool + batched check-ins), and
-* the **legacy scan** path (``--legacy-scan``) reproducing the seed's
-  pre-index linear scans — policy-side ``use_index=False`` plus
-  ``SimulationConfig(indexed_dispatch=False)``.
+* **indexed vs legacy-scan** (``--compare``): the ``AtomIndex`` +
+  signature-bucketed dispatch fast path against the seed's pre-index linear
+  scans (policy-side ``use_index=False`` plus
+  ``SimulationConfig(indexed_dispatch=False)``).  The hash comparison is
+  recorded in the speedup summary but not fatal: the golden tests pin the
+  paths decision-identical at small scale, but under day-long heavy
+  contention they can drift apart (the committed PR-1 baseline already
+  recorded different event counts per path).
+* **incremental vs full plan maintenance** (``--maintenance-compare``):
+  the in-place delta layer (``repro/core/plan_delta.py``) against the
+  from-scratch ``build_plan`` oracle.  Decision hashes must match exactly;
+  the benchmark exits non-zero if they do not.
 
-``--compare`` runs every cell on both paths and reports the speedup, which
-is the acceptance evidence for this PR (the 100k × 50 cell must show ≥ 5×).
-Results are written as a JSON artifact (``--output``).
+``--smoke`` runs one tiny cell across all three combinations (seconds; used
+by CI), and ``--check-baseline`` fails the run when the indexed+incremental
+``events_per_sec`` regresses more than ``--max-regression`` against a
+committed artifact — the CI ``perf-smoke`` gate.
 
 Examples
 --------
-Smoke test (seconds, used by CI)::
+CI smoke + regression gate::
 
-    PYTHONPATH=src python benchmarks/bench_scalability.py --smoke
+    PYTHONPATH=src python benchmarks/bench_scalability.py --smoke \
+        --check-baseline benchmarks/baselines/scalability_smoke.json
 
-The acceptance cell::
+The acceptance cells (both comparisons, 24 h horizon)::
 
     PYTHONPATH=src python benchmarks/bench_scalability.py \
-        --devices 100000 --jobs 50 --horizon-hours 2 --compare \
+        --devices 100000 --jobs 50 --horizon-hours 24 \
+        --compare --maintenance-compare \
         --output benchmarks/out/scalability_100k.json
+
+The million-device cell (indexed only; the legacy scan takes ~40 min)::
+
+    PYTHONPATH=src python benchmarks/bench_scalability.py \
+        --devices 1000000 --jobs 50 --horizon-hours 24 \
+        --maintenance-compare --output benchmarks/out/scalability_1m.json
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import os
+import struct
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -61,18 +84,33 @@ from repro.traces.workloads import WorkloadConfig, WorkloadGenerator  # noqa: E4
 
 
 class TimedPolicy:
-    """Transparent policy wrapper timing every ``assign`` decision."""
+    """Transparent policy wrapper timing and hashing every ``assign``.
+
+    The decision hash digests the sequence of *actual assignments*
+    ``(now, device_id, job_id)`` — None decisions are excluded so the hash
+    is comparable between the indexed and legacy dispatch paths, which
+    offer different (but decision-equivalent) device streams to the policy.
+    """
 
     def __init__(self, inner) -> None:
         self._inner = inner
         self.name = getattr(inner, "name", type(inner).__name__)
         self.assign_latencies: List[float] = []
+        self._hash = hashlib.blake2b(digest_size=16)
 
     def assign(self, device, now):
         t0 = time.perf_counter()
         out = self._inner.assign(device, now)
         self.assign_latencies.append(time.perf_counter() - t0)
+        if out is not None:
+            self._hash.update(
+                struct.pack("<dqq", now, device.device_id, out.job_id)
+            )
         return out
+
+    @property
+    def decision_hash(self) -> str:
+        return self._hash.hexdigest()
 
     def __getattr__(self, item):
         return getattr(self._inner, item)
@@ -104,6 +142,12 @@ def build_cell(num_devices: int, num_jobs: int, horizon: float, seed: int):
     return devices, trace, workload
 
 
+def percentile_us(lat: np.ndarray, q: float) -> Optional[float]:
+    if not lat.size:
+        return None
+    return round(float(np.percentile(lat, q)) * 1e6, 2)
+
+
 def run_cell(
     num_devices: int,
     num_jobs: int,
@@ -111,11 +155,46 @@ def run_cell(
     seed: int,
     policy_name: str,
     indexed: bool,
+    maintenance: str,
+    repeats: int = 1,
+) -> Dict:
+    """Run one cell ``repeats`` times and keep the fastest run.
+
+    Decisions are deterministic, so repeats must agree bit-for-bit (they
+    are asserted to); only the wall clock varies.  Best-of-N is the honest
+    choice on shared/noisy hardware: the minimum wall time is the closest
+    observable to the code's actual cost.
+    """
+    best: Optional[Dict] = None
+    for _ in range(max(1, repeats)):
+        cell = _run_cell_once(
+            num_devices, num_jobs, horizon, seed, policy_name, indexed,
+            maintenance,
+        )
+        if best is not None and cell["decision_hash"] != best["decision_hash"]:
+            raise AssertionError(
+                "nondeterminism across benchmark repeats: "
+                f"{cell['decision_hash']} != {best['decision_hash']}"
+            )
+        if best is None or cell["events_per_sec"] > best["events_per_sec"]:
+            best = cell
+    return best
+
+
+def _run_cell_once(
+    num_devices: int,
+    num_jobs: int,
+    horizon: float,
+    seed: int,
+    policy_name: str,
+    indexed: bool,
+    maintenance: str,
 ) -> Dict:
     devices, trace, workload = build_cell(num_devices, num_jobs, horizon, seed)
     kwargs = {}
     if policy_name.startswith("venn"):
         kwargs["use_index"] = indexed
+        kwargs["plan_maintenance"] = maintenance
     policy = TimedPolicy(make_policy(policy_name, seed=seed, **kwargs))
     config = SimulationConfig(
         horizon=horizon,
@@ -135,21 +214,61 @@ def run_cell(
         "horizon_s": horizon,
         "policy": policy.name,
         "path": "indexed" if indexed else "legacy-scan",
+        "plan_maintenance": (
+            maintenance if policy_name.startswith("venn") else None
+        ),
         "wall_s": round(wall, 4),
         "events": sim.events_processed,
         "events_per_sec": round(sim.events_processed / max(wall, 1e-9), 1),
         "checkins": metrics.total_checkins,
         "assign_calls": int(lat.size),
-        "assign_p50_us": round(float(np.percentile(lat, 50)) * 1e6, 2) if lat.size else None,
-        "assign_p99_us": round(float(np.percentile(lat, 99)) * 1e6, 2) if lat.size else None,
+        "assign_p50_us": percentile_us(lat, 50),
+        "assign_p99_us": percentile_us(lat, 99),
+        # p99 hides the rebuild tail: the (few thousand) assigns that pay a
+        # plan refresh live beyond the 99th percentile of (hundreds of
+        # thousands of) calls.  p99.9 exposes them.
+        "assign_p999_us": percentile_us(lat, 99.9),
         "completion_rate": metrics.completion_rate,
         "plan_rebuilds": getattr(policy, "plan_rebuilds", None),
+        "decision_hash": policy.decision_hash,
     }
+    profile = metrics.plan_maintenance
+    if profile is not None:
+        cell["plan_incremental_updates"] = profile["incremental_updates"]
+        cell["rebuilds_avoided"] = profile["rebuilds_avoided"]
+        cell["plan_time_s"] = profile["maintenance_time_s"]
+        cell["plan_time_share"] = round(
+            profile["maintenance_time_s"] / max(wall, 1e-9), 4
+        )
+        cell["index_patches"] = profile["index_patches"]
+        cell["index_atoms_patched"] = profile["index_atoms_patched"]
+        cell["plan_triggers"] = profile["triggers"]
     return cell
 
 
 def parse_int_list(text: str) -> List[int]:
     return [int(x) for x in text.replace(" ", "").split(",") if x]
+
+
+def cell_combos(args, policy_is_venn: bool, num_devices: int) -> List[Tuple[bool, str]]:
+    """(indexed, plan_maintenance) combinations to run per cell."""
+    maint = args.plan_maintenance if policy_is_venn else "full"
+    combos: List[Tuple[bool, str]] = []
+    if args.legacy_scan:
+        combos.append((False, "full"))
+        return combos
+    combos.append((True, maint))
+    if args.maintenance_compare and policy_is_venn:
+        other = "full" if maint == "incremental" else "incremental"
+        combos.append((True, other))
+    if args.compare and num_devices <= args.legacy_max_devices:
+        # The legacy-scan reference always runs the paper-literal full
+        # rebuild: it reproduces the seed's behaviour.  Cells above
+        # --legacy-max-devices skip it (the linear scans take O(hours) at
+        # 10^6 devices; the equivalence is already pinned at smaller cells
+        # and by the golden tests).
+        combos.append((False, "full"))
+    return combos
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -163,12 +282,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--horizon-hours", type=float, default=24.0,
                         help="simulated horizon per cell")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="run each cell N times and record the fastest "
+                             "(decisions are asserted identical across "
+                             "repeats; use >1 on noisy/shared hardware)")
+    parser.add_argument("--plan-maintenance", default="incremental",
+                        choices=["incremental", "full"],
+                        help="Venn plan-maintenance mode for the primary run")
     parser.add_argument("--legacy-scan", action="store_true",
                         help="measure the pre-index linear-scan path only")
     parser.add_argument("--compare", action="store_true",
-                        help="run each cell on both paths and report speedup")
+                        help="run each cell on both dispatch paths and report "
+                             "the indexed/legacy speedup")
+    parser.add_argument("--legacy-max-devices", type=int, default=200_000,
+                        help="skip the legacy-scan reference for cells with "
+                             "more devices than this (default 200k; the "
+                             "linear scans take hours at 10^6 devices)")
+    parser.add_argument("--maintenance-compare", action="store_true",
+                        help="run each cell in both plan-maintenance modes, "
+                             "assert decision identity and report the "
+                             "incremental/full speedup")
     parser.add_argument("--smoke", action="store_true",
-                        help="tiny sweep for CI (overrides sweep + horizon)")
+                        help="tiny sweep for CI (overrides sweep + horizon, "
+                             "implies --compare and --maintenance-compare)")
+    parser.add_argument("--check-baseline", default=None, metavar="PATH",
+                        help="committed artifact to compare against; fails "
+                             "when indexed+incremental events_per_sec "
+                             "regresses more than --max-regression")
+    parser.add_argument("--max-regression", type=float, default=0.2,
+                        help="tolerated fractional events_per_sec regression "
+                             "for --check-baseline (default 0.2)")
     parser.add_argument("--output", default="benchmarks/out/scalability.json")
     args = parser.parse_args(argv)
 
@@ -176,45 +319,115 @@ def main(argv: Optional[List[str]] = None) -> int:
     job_counts = parse_int_list(args.jobs)
     horizon = args.horizon_hours * 3600.0
     if args.smoke:
-        device_counts, job_counts, horizon = [300], [4], 2 * 3600.0
+        # Big enough that events_per_sec is stable (a sub-0.1 s cell would
+        # make the CI regression gate pure noise), small enough to finish
+        # all three path/mode combos in seconds.
+        device_counts, job_counts, horizon = [5000], [8], 6 * 3600.0
+        args.compare = True
+        args.maintenance_compare = True
 
+    policy_is_venn = args.policy.startswith("venn")
+    decision_mismatch = False
     cells: List[Dict] = []
     for n_dev in device_counts:
         for n_jobs in job_counts:
-            paths = [True, False] if (args.compare or args.smoke) else [
-                not args.legacy_scan
-            ]
-            pair: Dict[str, Dict] = {}
-            for indexed in paths:
+            by_combo: Dict[Tuple[str, str], Dict] = {}
+            for indexed, maintenance in cell_combos(args, policy_is_venn, n_dev):
                 label = "indexed" if indexed else "legacy-scan"
                 print(
-                    f"[cell] devices={n_dev} jobs={n_jobs} path={label} ...",
+                    f"[cell] devices={n_dev} jobs={n_jobs} path={label} "
+                    f"maintenance={maintenance} ...",
                     file=sys.stderr, flush=True,
                 )
                 cell = run_cell(
-                    n_dev, n_jobs, horizon, args.seed, args.policy, indexed
+                    n_dev, n_jobs, horizon, args.seed, args.policy,
+                    indexed, maintenance, repeats=args.repeats,
                 )
-                pair[label] = cell
+                by_combo[(label, maintenance)] = cell
                 cells.append(cell)
                 print(
                     f"[cell]   {cell['events_per_sec']:.0f} events/s, "
-                    f"p99 assign {cell['assign_p99_us']} us, "
+                    f"p99/p99.9 assign {cell['assign_p99_us']}/"
+                    f"{cell['assign_p999_us']} us, "
+                    f"plan share {cell.get('plan_time_share', 'n/a')}, "
                     f"wall {cell['wall_s']:.1f} s",
                     file=sys.stderr, flush=True,
                 )
-            if len(pair) == 2:
+
+            primary = ("indexed", args.plan_maintenance if policy_is_venn else "full")
+            legacy = ("legacy-scan", "full")
+            if primary in by_combo and legacy in by_combo:
                 speedup = (
-                    pair["indexed"]["events_per_sec"]
-                    / max(pair["legacy-scan"]["events_per_sec"], 1e-9)
+                    by_combo[primary]["events_per_sec"]
+                    / max(by_combo[legacy]["events_per_sec"], 1e-9)
+                )
+                same = (
+                    by_combo[primary]["decision_hash"]
+                    == by_combo[legacy]["decision_hash"]
                 )
                 print(
                     f"[cell] devices={n_dev} jobs={n_jobs} "
-                    f"speedup indexed/legacy = {speedup:.2f}x",
+                    f"speedup indexed/legacy = {speedup:.2f}x, "
+                    f"decisions identical: {same}",
+                    file=sys.stderr, flush=True,
+                )
+                if not same:
+                    # Not fatal: the dispatch paths are pinned
+                    # decision-identical by the golden tests at small scale,
+                    # but under day-long heavy contention they can drift
+                    # apart (the committed PR-1 baseline already recorded
+                    # different event counts per path — e.g. the tier
+                    # matcher's rng draws follow the assign-call stream,
+                    # which differs between paths).  The artifact records
+                    # the hash comparison either way.
+                    print(
+                        f"[cell] devices={n_dev} jobs={n_jobs} note: "
+                        "legacy/indexed decisions differ at this scale "
+                        "(pre-existing; see summary record)",
+                        file=sys.stderr, flush=True,
+                    )
+                cells.append({
+                    "devices": n_dev, "jobs": n_jobs,
+                    "summary": "speedup", "events_per_sec_ratio": round(speedup, 3),
+                    "decisions_identical": same,
+                })
+            inc = ("indexed", "incremental")
+            full = ("indexed", "full")
+            if inc in by_combo and full in by_combo:
+                if by_combo[inc]["decision_hash"] != by_combo[full]["decision_hash"]:
+                    # This one IS fatal: incremental maintenance promises
+                    # bit-identical decisions to the full-rebuild oracle.
+                    decision_mismatch = True
+                    print(
+                        f"[cell] devices={n_dev} jobs={n_jobs} "
+                        f"MAINTENANCE DECISION DIVERGENCE: "
+                        f"incremental={by_combo[inc]['decision_hash'][:12]} "
+                        f"full={by_combo[full]['decision_hash'][:12]}",
+                        file=sys.stderr, flush=True,
+                    )
+                ratio = (
+                    by_combo[inc]["events_per_sec"]
+                    / max(by_combo[full]["events_per_sec"], 1e-9)
+                )
+                print(
+                    f"[cell] devices={n_dev} jobs={n_jobs} "
+                    f"incremental/full = {ratio:.2f}x, "
+                    f"rebuilds avoided {by_combo[inc].get('rebuilds_avoided')}, "
+                    f"decisions identical: "
+                    f"{by_combo[inc]['decision_hash'] == by_combo[full]['decision_hash']}",
                     file=sys.stderr, flush=True,
                 )
                 cells.append({
                     "devices": n_dev, "jobs": n_jobs,
-                    "summary": "speedup", "events_per_sec_ratio": round(speedup, 3),
+                    "summary": "maintenance",
+                    "events_per_sec_ratio": round(ratio, 3),
+                    "rebuilds_avoided": by_combo[inc].get("rebuilds_avoided"),
+                    "plan_time_share_incremental": by_combo[inc].get("plan_time_share"),
+                    "plan_time_share_full": by_combo[full].get("plan_time_share"),
+                    "decisions_identical": (
+                        by_combo[inc]["decision_hash"]
+                        == by_combo[full]["decision_hash"]
+                    ),
                 })
 
     artifact = {
@@ -230,7 +443,69 @@ def main(argv: Optional[List[str]] = None) -> int:
     with open(out_path, "w") as fh:
         json.dump(artifact, fh, indent=2)
     print(f"wrote {out_path}")
+
+    if decision_mismatch:
+        print("FAIL: incremental and full plan maintenance made different "
+              "scheduling decisions", file=sys.stderr)
+        return 2
+    if args.check_baseline:
+        failures = check_baseline(cells, args.check_baseline, args.max_regression)
+        if failures:
+            for line in failures:
+                print(f"FAIL: {line}", file=sys.stderr)
+            return 3
+        print(f"baseline check ok ({args.check_baseline})", file=sys.stderr)
     return 0
+
+
+def check_baseline(
+    cells: List[Dict], baseline_path: str, max_regression: float
+) -> List[str]:
+    """Compare indexed+incremental cells against a committed artifact.
+
+    Returns a list of human-readable failures (empty = pass).  Only cells
+    present in both runs are compared; the committed artifact must be
+    regenerated when the benchmark hardware changes.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+
+    def key(cell: Dict):
+        return (cell["devices"], cell["jobs"], cell["path"],
+                cell.get("plan_maintenance"))
+
+    base_cells = {
+        key(c): c for c in baseline.get("cells", []) if "summary" not in c
+    }
+    failures: List[str] = []
+    compared = 0
+    for cell in cells:
+        if "summary" in cell:
+            continue
+        if cell["path"] != "indexed" or cell.get("plan_maintenance") != "incremental":
+            continue
+        ref = base_cells.get(key(cell))
+        if ref is None:
+            continue
+        compared += 1
+        floor = ref["events_per_sec"] * (1.0 - max_regression)
+        if cell["events_per_sec"] < floor:
+            failures.append(
+                f"devices={cell['devices']} jobs={cell['jobs']}: "
+                f"{cell['events_per_sec']:.0f} ev/s < {floor:.0f} "
+                f"(baseline {ref['events_per_sec']:.0f}, "
+                f"tolerated regression {max_regression:.0%})"
+            )
+    if compared == 0:
+        # A gate that compares nothing must not report success: this
+        # happens when the cell shape changed without regenerating the
+        # committed baseline (or when no indexed+incremental cell ran).
+        failures.append(
+            f"no cells matched {baseline_path}; regenerate the baseline "
+            "for the current cell shape (the regression gate would "
+            "otherwise be a silent no-op)"
+        )
+    return failures
 
 
 if __name__ == "__main__":

@@ -28,6 +28,8 @@ from .matching import (
     TierMatcher,
     device_capacity_metric,
 )
+from .plan_delta import PlanDelta, PlanMaintainer, Trigger
+from .profile import PlanMaintenanceProfile
 from .policy import BasePolicy, SchedulingPolicy
 from .requirements import (
     COMPUTE_RICH,
@@ -75,6 +77,9 @@ __all__ = [
     "JobSpec",
     "JobState",
     "MEMORY_RICH",
+    "PlanDelta",
+    "PlanMaintainer",
+    "PlanMaintenanceProfile",
     "POLICY_NAMES",
     "RandomMatchingPolicy",
     "RequestState",
@@ -85,6 +90,7 @@ __all__ = [
     "SupplyEstimator",
     "TierDecision",
     "TierMatcher",
+    "Trigger",
     "UniformRandomPolicy",
     "VennScheduler",
     "build_plan",

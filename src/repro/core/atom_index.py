@@ -18,10 +18,15 @@ construction per check-in.
   scarcest first" — and then memoised, so each unknown signature pays the
   fallback cost once per plan instead of once per check-in.
 
-An index is immutable and tied to the plan it was built from; the scheduler
-drops it together with the plan on rebuild (job/request arrival and
-completion), which is exactly the invalidation discipline the paper
-describes for the plan itself.
+An index is tied to the plan it was built from.  A *full* plan rebuild
+replaces the plan object and the index dies with it — the invalidation
+discipline the paper describes for the plan itself.  Under incremental plan
+maintenance (:mod:`repro.core.plan_delta`) the plan is mutated in place
+instead, and the index is **epoch-versioned**: :meth:`AtomIndex.patch`
+re-flattens only the signatures whose candidate tuples actually changed
+(dirty groups' job tuples, atoms whose preference list moved) and bumps
+``epoch``, so a trigger that touches one group re-flattens a handful of
+atoms instead of rebuilding the whole index.
 
 A crucial guarantee the index preserves: every candidate group key it yields
 for a signature is *contained in* that signature, so a device is eligible
@@ -33,7 +38,7 @@ decision-equality with the legacy linear scan on randomised plans.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Tuple
 
 from .requirements import AtomSignature
 
@@ -45,11 +50,23 @@ CandidateList = Tuple[Tuple[str, int], ...]
 
 
 class AtomIndex:
-    """Immutable signature -> ordered candidate-job index for one plan."""
+    """Signature -> ordered candidate-job index for one scheduling plan.
 
-    __slots__ = ("_known", "_fallback_cache", "_group_jobs", "_group_order")
+    Immutable from the check-in path's point of view; mutated only through
+    :meth:`patch` by the incremental plan-maintenance layer.
+    """
+
+    __slots__ = (
+        "_known",
+        "_fallback_cache",
+        "_group_jobs",
+        "_group_order",
+        "epoch",
+    )
 
     def __init__(self, plan: "SchedulingPlan") -> None:
+        #: Patch generation: 0 for a freshly built index, +1 per patch.
+        self.epoch: int = 0
         #: Per-group candidate tuples, flattened once.
         self._group_jobs: Dict[str, CandidateList] = {
             key: tuple((key, job_id) for job_id in jobs)
@@ -85,6 +102,47 @@ class AtomIndex:
             hit = self._flatten([k for k in self._group_order if k in sig])
             self._fallback_cache[sig] = hit
         return hit
+
+    def patch(
+        self,
+        plan: "SchedulingPlan",
+        dirty_groups: Iterable[str],
+        changed_atoms: Iterable[AtomSignature],
+        group_order_changed: bool,
+    ) -> int:
+        """Bring the index up to date with an in-place plan mutation.
+
+        ``dirty_groups`` are the groups whose ``plan.job_order`` entry
+        changed (their per-group candidate tuples are re-flattened);
+        ``changed_atoms`` are the signatures whose candidate tuples are
+        stale — either because their preference list changed or because the
+        list contains a dirty group.  The memoised fallback resolutions are
+        dropped when their inputs (group order / any group's job tuple)
+        changed; precomputed entries for unaffected atoms are untouched.
+        Returns the number of atom signatures re-flattened.
+        """
+        dirty = tuple(dirty_groups)
+        for key in dirty:
+            self._group_jobs[key] = tuple(
+                (key, job_id) for job_id in plan.job_order.get(key, ())
+            )
+        if group_order_changed:
+            self._group_order = tuple(plan.group_order)
+        patched = 0
+        for atom in changed_atoms:
+            pref = plan.atom_preferences.get(atom)
+            if pref is None:
+                # Atoms never leave the plan under incremental maintenance;
+                # tolerate it anyway so a patch can only shrink knowledge,
+                # never serve stale candidates.
+                self._known.pop(atom, None)
+            else:
+                self._known[atom] = self._flatten(pref)
+            patched += 1
+        if (dirty or group_order_changed) and self._fallback_cache:
+            self._fallback_cache.clear()
+        self.epoch += 1
+        return patched
 
     @property
     def num_known_atoms(self) -> int:

@@ -40,9 +40,23 @@ the index maps a device's :data:`~repro.core.requirements.AtomSignature`
 straight to the precomputed, ordered tuple of ``(group, job)`` candidates,
 so a check-in costs a dictionary lookup plus a walk over candidates instead
 of re-flattening group preference lists.  The index is built lazily once per
-plan and dies with the plan on rebuild.  :meth:`SchedulingPlan.ordered_jobs_for`
-retains the original linear flattening and serves as the reference
-("legacy scan") implementation for benchmarks and equivalence tests.
+plan; a full rebuild replaces the plan (and with it the index), while the
+incremental maintenance layer (:mod:`repro.core.plan_delta`) mutates the
+plan in place and patches the live index epoch-by-epoch.
+:meth:`SchedulingPlan.ordered_jobs_for` retains the original linear
+flattening and serves as the reference ("legacy scan") implementation for
+benchmarks and equivalence tests.
+
+Incremental maintenance
+-----------------------
+
+The three phases are exposed as module-level helpers
+(:func:`_phase23_allocate`, :func:`_atom_preferences`, :func:`_rate_sum`)
+so that :class:`~repro.core.plan_delta.PlanMaintainer` re-runs *exactly*
+the same float operations as a from-scratch :func:`build_plan` when it
+refreshes the inter-group allocation — the property-based
+incremental-vs-full equivalence tests rely on the two paths sharing this
+code, not merely approximating each other.
 """
 
 from __future__ import annotations
@@ -56,6 +70,39 @@ from .requirements import AtomSignature, AtomSpace, atom_sort_key, sorted_atoms
 
 #: Guard for divisions by (near-)zero supply rates.
 _EPS = 1e-12
+
+
+def _rate_sum(
+    rates: Mapping[AtomSignature, float], atoms_in_order: Sequence[AtomSignature]
+) -> float:
+    """Sum atom rates over ``atoms_in_order``.
+
+    Float addition is not associative, so callers must pass atoms in the
+    canonical :func:`~repro.core.requirements.atom_sort_key` order (summing
+    in set/hash order would make supply rates — and through them scheduling
+    decisions — depend on ``PYTHONHASHSEED``).
+    """
+    return sum(rates.get(a, 0.0) for a in atoms_in_order)
+
+
+def _normalized_rates(
+    atom_rates: Mapping[AtomSignature, float],
+) -> Mapping[AtomSignature, float]:
+    """Atom rates with frozenset keys and non-negative float values.
+
+    The supply estimator already hands over a dict of frozenset keys and
+    non-negative floats, so the common case is a pure pass-through — the
+    seed implementation re-wrapped every key in ``frozenset(...)`` and
+    re-built the whole mapping on *every* rebuild, pure per-rebuild waste.
+    Non-conforming mappings (tests or external callers using other set
+    types or negative/int rates) are normalised as before.
+    """
+    for sig, rate in atom_rates.items():
+        if type(sig) is not frozenset or type(rate) is not float or rate < 0.0:
+            return {
+                frozenset(s): max(0.0, float(r)) for s, r in atom_rates.items()
+            }
+    return atom_rates
 
 
 def _effective_rate(alloc: "GroupAllocation") -> float:
@@ -118,9 +165,11 @@ class SchedulingPlan:
     def index(self) -> AtomIndex:
         """The signature -> candidate-job index for this plan.
 
-        Built lazily on first use and cached; because a fresh plan object is
-        produced on every rebuild, the cache is invalidated together with
-        the plan.  Callers must not mutate the plan after indexing.
+        Built lazily on first use and cached; a full rebuild produces a
+        fresh plan object, so the cache is invalidated together with the
+        plan.  The only sanctioned mutation of an indexed plan is the
+        incremental maintenance layer (:mod:`repro.core.plan_delta`), which
+        patches the cached index in lock-step with the plan.
         """
         if self._index is None:
             self._index = AtomIndex(self)
@@ -180,16 +229,7 @@ def build_plan(
     if not groups:
         return plan
 
-    rates: Dict[AtomSignature, float] = {
-        frozenset(sig): max(0.0, float(rate)) for sig, rate in atom_rates.items()
-    }
-
-    def rate_sum(atoms: Set[AtomSignature]) -> float:
-        """Accumulate in canonical atom order: float addition is not
-        associative, so summing in set (= hash) order would make supply
-        rates — and through them scheduling decisions — depend on
-        ``PYTHONHASHSEED``."""
-        return sum(rates.get(a, 0.0) for a in sorted_atoms(atoms))
+    rates = _normalized_rates(atom_rates)
 
     # ---- Phase 1: intra-group ordering (§4.2.1) ----------------------- #
     allocations: Dict[str, GroupAllocation] = {}
@@ -200,7 +240,7 @@ def build_plan(
             sig for sig in rates if key in sig
         }
         eligible_atoms[key] = frozenset(atoms)
-        supply = rate_sum(atoms)
+        supply = _rate_sum(rates, sorted_atoms(atoms))
         qlen = (
             float(queue_lengths[key])
             if queue_lengths is not None and key in queue_lengths
@@ -211,9 +251,45 @@ def build_plan(
         )
         plan.job_order[key] = [e.job_id for e in group.ordered_jobs()]
 
+    # ---- Phases 2+3: allocation + reallocation ------------------------- #
+    plan.group_order = _phase23_allocate(
+        allocations, eligible_atoms, rates, reallocate
+    )
+    plan.allocations = allocations
+
+    # ---- Materialise per-atom preference lists ------------------------- #
+    all_atoms: Set[AtomSignature] = set(rates) | set().union(
+        *eligible_atoms.values()
+    )
+    # Canonical order keeps ``atom_preferences`` insertion (and hence any
+    # iteration over it) independent of hash order.
+    plan.atom_preferences = _atom_preferences(
+        sorted(all_atoms, key=atom_sort_key),
+        plan.group_order,
+        eligible_atoms,
+        allocations,
+    )
+
+    return plan
+
+
+def _phase23_allocate(
+    allocations: Dict[str, GroupAllocation],
+    eligible_atoms: Mapping[str, FrozenSet[AtomSignature]],
+    rates: Mapping[AtomSignature, float],
+    reallocate: bool,
+) -> List[str]:
+    """Phases 2 and 3 of Algorithm 1 over fresh ``allocations``.
+
+    Mutates each group's ``allocated_atoms`` / ``allocated_rate`` in place
+    (``supply_rate`` and ``queue_length`` must already be set) and returns
+    the scarcest-supply-first group order.  Shared verbatim between
+    :func:`build_plan` and the incremental maintenance layer so both paths
+    perform bit-identical float operations.
+    """
     # Scarcest-supply-first global order (ties broken by name for
     # determinism).
-    plan.group_order = sorted(
+    group_order = sorted(
         allocations, key=lambda k: (allocations[k].supply_rate, k)
     )
 
@@ -221,11 +297,11 @@ def build_plan(
     unclaimed: Set[AtomSignature] = set()
     for atoms in eligible_atoms.values():
         unclaimed |= set(atoms)
-    for key in plan.group_order:  # ascending supply == scarcest first
+    for key in group_order:  # ascending supply == scarcest first
         claim = unclaimed & eligible_atoms[key]
         alloc = allocations[key]
         alloc.allocated_atoms = set(claim)
-        alloc.allocated_rate = rate_sum(claim)
+        alloc.allocated_rate = _rate_sum(rates, sorted_atoms(claim))
         unclaimed -= claim
 
     # ---- Phase 3: reallocation of intersected resources (lines 10-23) -- #
@@ -258,7 +334,7 @@ def build_plan(
                 shared = eligible_atoms[j_key] & alloc_k.allocated_atoms
                 if not shared:
                     continue
-                shared_rate = rate_sum(shared)
+                shared_rate = _rate_sum(rates, sorted_atoms(shared))
                 rate_j_after = alloc_j.allocated_rate + shared_rate
                 rate_k_after = alloc_k.allocated_rate - shared_rate
                 after_j = alloc_j.queue_length / max(
@@ -286,25 +362,32 @@ def build_plan(
                 # take them from more abundant groups first, so stop here.
                 break
 
-    plan.allocations = allocations
+    return group_order
 
-    # ---- Materialise per-atom preference lists ------------------------- #
-    all_atoms: Set[AtomSignature] = set(rates) | set().union(
-        *eligible_atoms.values()
-    )
-    # Canonical order keeps ``atom_preferences`` insertion (and hence any
-    # iteration over it) independent of hash order.
-    for atom in sorted(all_atoms, key=atom_sort_key):
-        eligible_groups = [k for k in plan.group_order if atom in eligible_atoms[k]]
+
+def _atom_preferences(
+    atoms_in_order: Sequence[AtomSignature],
+    group_order: Sequence[str],
+    eligible_atoms: Mapping[str, FrozenSet[AtomSignature]],
+    allocations: Mapping[str, GroupAllocation],
+) -> Dict[AtomSignature, List[str]]:
+    """Per-atom ordered group preference lists (owner first, then the rest).
+
+    ``atoms_in_order`` must already be in canonical
+    :func:`~repro.core.requirements.atom_sort_key` order so the resulting
+    dict's insertion order is hash-independent.
+    """
+    prefs: Dict[AtomSignature, List[str]] = {}
+    for atom in atoms_in_order:
+        eligible_groups = [k for k in group_order if atom in eligible_atoms[k]]
         if not eligible_groups:
             continue
         owners = [
             k for k in eligible_groups if atom in allocations[k].allocated_atoms
         ]
         rest = [k for k in eligible_groups if k not in owners]
-        plan.atom_preferences[atom] = owners + rest
-
-    return plan
+        prefs[atom] = owners + rest
+    return prefs
 
 
 __all__ = ["GroupAllocation", "SchedulingPlan", "build_plan"]

@@ -13,18 +13,33 @@
 * the **fairness controller** (§4.4) whose knob ε bounds starvation of large
   jobs.
 
-The plan is recomputed on job/request arrival and completion — exactly the
+The plan is invalidated on job/request arrival and completion — exactly the
 trigger points named in the paper — and consulted at device check-in through
 the plan's :class:`~repro.core.atom_index.AtomIndex`: the device's cached
 atom signature resolves to a precomputed candidate tuple, so a check-in is
 a dictionary lookup plus a walk over the (usually short) candidate prefix.
 The pre-index linear scan is retained behind ``use_index=False`` for
 benchmarks (``--legacy-scan``) and decision-equivalence tests.
+
+How an invalidated plan is brought up to date is governed by the
+``plan_maintenance`` knob: ``"incremental"`` (default) classifies every
+trigger (:class:`~repro.core.plan_delta.Trigger`) and serves
+single-group triggers by mutating the existing plan in place through a
+:class:`~repro.core.plan_delta.PlanMaintainer` — re-sorting only the dirty
+group, re-running allocation through the exact ``build_plan`` phase code,
+and patching the live index; ``"full"`` preserves the paper-literal
+from-scratch :meth:`VennScheduler.rebuild_plan` on every trigger and serves
+as the oracle for equivalence tests.  Requirement-set changes and active
+fairness (ε > 0) always fall back to the oracle.  Both modes make
+bit-identical scheduling decisions (with the default
+``supply_drift_tolerance=0.0``); the per-run counters live in
+``VennScheduler.plan_profile``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+import time
+from typing import Callable, Dict, Iterator, Optional
 
 import numpy as np
 
@@ -32,7 +47,9 @@ from .fairness import FairnessController
 from .irs import SchedulingPlan, build_plan
 from .job_group import JobGroupRegistry
 from .matching import NO_TIER, TierDecision, TierMatcher
+from .plan_delta import PLAN_MAINTENANCE_MODES, PlanMaintainer, Trigger
 from .policy import BasePolicy, SeededRngMixin
+from .profile import PlanMaintenanceProfile
 from .requirements import AtomSpace
 from .supply import DEFAULT_WINDOW, SupplyEstimator
 from .types import DeviceProfile, JobSpec, ResourceRequest
@@ -77,6 +94,19 @@ class VennScheduler(SeededRngMixin, BasePolicy):
         per-device signature cache.  ``False`` restores the pre-index linear
         scan (same decisions, strictly more work per check-in) for
         apples-to-apples benchmarking.
+    plan_maintenance:
+        ``"incremental"`` (default) serves plan-invalidating triggers with
+        in-place deltas through :class:`~repro.core.plan_delta.PlanMaintainer`
+        whenever that is provably decision-equivalent, falling back to the
+        full :meth:`rebuild_plan` oracle on requirement-set changes and
+        active fairness.  ``"full"`` rebuilds from scratch on every trigger
+        (the paper-literal behaviour, kept as the equivalence oracle).
+    supply_drift_tolerance:
+        Maximum relative drift of any group's supply rate for which an
+        incremental update may *skip* re-running the allocation phases when
+        nothing else changed.  The default ``0.0`` keeps incremental mode
+        bit-identical to the oracle; larger values trade exact supply
+        bookkeeping for fewer allocation re-runs.
     """
 
     name = "venn"
@@ -93,18 +123,25 @@ class VennScheduler(SeededRngMixin, BasePolicy):
         solo_jct_estimator: Optional[Callable[[JobSpec], float]] = None,
         seed: Optional[int] = None,
         use_index: bool = True,
+        plan_maintenance: str = "incremental",
+        supply_drift_tolerance: float = 0.0,
     ) -> None:
         super().__init__()
         if num_tiers < 1:
             raise ValueError("num_tiers must be >= 1")
         if demand_mode not in ("total", "round"):
             raise ValueError("demand_mode must be 'total' or 'round'")
+        if plan_maintenance not in PLAN_MAINTENANCE_MODES:
+            raise ValueError(
+                f"plan_maintenance must be one of {PLAN_MAINTENANCE_MODES}"
+            )
         self.num_tiers = int(num_tiers)
         self.enable_scheduling = bool(enable_scheduling)
         self.enable_matching = bool(enable_matching)
         self.enable_reallocation = bool(enable_reallocation)
         self.demand_mode = demand_mode
         self.use_index = bool(use_index)
+        self.plan_maintenance = plan_maintenance
         self.supply = SupplyEstimator(window=supply_window)
         self.fairness = FairnessController(
             epsilon=epsilon, solo_jct_estimator=solo_jct_estimator
@@ -120,6 +157,18 @@ class VennScheduler(SeededRngMixin, BasePolicy):
         self._tier_decisions: Dict[int, TierDecision] = {}
         #: Number of times the plan has been rebuilt (for overhead studies).
         self.plan_rebuilds = 0
+        #: Per-run plan-maintenance counters + wall time (see
+        #: :class:`~repro.core.profile.PlanMaintenanceProfile`).
+        self.plan_profile = PlanMaintenanceProfile()
+        self._maintainer = PlanMaintainer(
+            supply_drift_tolerance=supply_drift_tolerance
+        )
+        #: Jobs whose ordering inputs may have changed since the last plan
+        #: refresh.  Every demand change flows through a lifecycle trigger
+        #: or through :meth:`assign` returning a request (the engine then
+        #: records the assignment), so refreshing only these jobs is exact
+        #: — and O(changed) instead of O(all jobs) per refresh.
+        self._demand_dirty: set = set()
         # Derive the ablation-aware display name.
         if not self.enable_scheduling and self.enable_matching:
             self.name = "venn_wo_sched"
@@ -129,8 +178,28 @@ class VennScheduler(SeededRngMixin, BasePolicy):
             self.name = "fifo"
 
     # ------------------------------------------------------------------ #
-    # Lifecycle hooks
+    # Lifecycle hooks (each one classifies its plan-invalidation trigger)
     # ------------------------------------------------------------------ #
+    @property
+    def _incremental_enabled(self) -> bool:
+        """Whether triggers may be served by the in-place delta layer.
+
+        Active fairness (ε > 0) makes every job's adjusted demand a
+        function of *now*, so no group is ever clean and the full oracle is
+        the only correct refresh.
+        """
+        return (
+            self.plan_maintenance == "incremental"
+            and self.fairness.epsilon == 0.0
+        )
+
+    def _requirement_shared(self, job_id: int, requirement) -> bool:
+        """True when another live job carries an identical requirement."""
+        for other_id, other in self.jobs.items():
+            if other_id != job_id and other.requirement == requirement:
+                return True
+        return False
+
     def on_job_arrival(self, job: JobSpec, now: float) -> None:
         super().on_job_arrival(job, now)
         self.fairness.register_job(job, now)
@@ -138,20 +207,57 @@ class VennScheduler(SeededRngMixin, BasePolicy):
             num_tiers=self.num_tiers,
             rng=self._rng,
         )
-        self._atom_space = None  # requirements changed, rebuild lazily
-        self._signature_cache.clear()
+        if self._incremental_enabled and self._requirement_shared(
+            job.job_id, job.requirement
+        ):
+            # Known requirement: the atom space — and with it every cached
+            # device signature — is unchanged; only this group is dirty.
+            self.plan_profile.record_trigger(Trigger.JOB_ARRIVAL)
+            self._maintainer.delta.mark_group(job.requirement.name)
+            self._demand_dirty.add(job.job_id)
+        else:
+            if self._incremental_enabled:
+                self.plan_profile.record_trigger(
+                    Trigger.JOB_ARRIVAL_NEW_REQUIREMENT
+                )
+                self._maintainer.delta.mark_full()
+            self._atom_space = None  # requirement set changed, rebuild lazily
+            self._signature_cache.clear()
         self._plan_dirty = True
 
     def on_job_finished(self, job_id: int, now: float) -> None:
+        job = self.jobs.get(job_id)
         super().on_job_finished(job_id, now)
         self.fairness.forget_job(job_id)
         self._matchers.pop(job_id, None)
-        self._atom_space = None
-        self._signature_cache.clear()
+        if (
+            self._incremental_enabled
+            and job is not None
+            and self._requirement_shared(job_id, job.requirement)
+        ):
+            # Other jobs keep the requirement alive: the group survives and
+            # the atom space is unchanged.
+            self.plan_profile.record_trigger(Trigger.JOB_DEPARTURE)
+            self._maintainer.delta.mark_removed(job_id, job.requirement.name)
+            self._demand_dirty.discard(job_id)
+        else:
+            if self._incremental_enabled:
+                self.plan_profile.record_trigger(
+                    Trigger.JOB_DEPARTURE_LAST_IN_GROUP
+                )
+                self._maintainer.delta.mark_full()
+            self._atom_space = None
+            self._signature_cache.clear()
         self._plan_dirty = True
 
     def on_request_open(self, request: ResourceRequest, now: float) -> None:
         super().on_request_open(request, now)
+        if self._incremental_enabled:
+            job = self.jobs.get(request.job_id)
+            if job is not None:
+                self.plan_profile.record_trigger(Trigger.REQUEST_ARRIVAL)
+                self._maintainer.delta.mark_group(job.requirement.name)
+                self._demand_dirty.add(request.job_id)
         self._plan_dirty = True
 
     def on_request_closed(self, request: ResourceRequest, now: float) -> None:
@@ -166,6 +272,12 @@ class VennScheduler(SeededRngMixin, BasePolicy):
             matcher.record_round(
                 request.scheduling_delay, request.response_collection_time
             )
+        if self._incremental_enabled:
+            job = self.jobs.get(request.job_id)
+            if job is not None:
+                self.plan_profile.record_trigger(Trigger.REQUEST_COMPLETION)
+                self._maintainer.delta.mark_group(job.requirement.name)
+                self._demand_dirty.add(request.job_id)
         self._plan_dirty = True
 
     def on_device_checkin(self, device: DeviceProfile, now: float) -> None:
@@ -210,12 +322,14 @@ class VennScheduler(SeededRngMixin, BasePolicy):
         signatures are always exact.  The legacy scan path bypasses the
         cache to reproduce the pre-index per-check-in cost.
         """
-        space = self._ensure_atom_space()
         if not self.use_index:
-            return space.signature(device)
+            return self._ensure_atom_space().signature(device)
+        # Cache first: the cache is cleared together with any atom-space
+        # invalidation, so a hit is always valid for the current space and
+        # skips the space liveness check entirely.
         sig = self._signature_cache.get(device.device_id)
         if sig is None:
-            sig = space.signature(device)
+            sig = self._ensure_atom_space().signature(device)
             self._signature_cache[device.device_id] = sig
         return sig
 
@@ -233,8 +347,12 @@ class VennScheduler(SeededRngMixin, BasePolicy):
         return float(self.jobs[job_id].demand_per_round)
 
     def rebuild_plan(self, now: float) -> SchedulingPlan:
-        """Recompute the scheduling plan (Algorithm 1).  Exposed for tests
-        and for the scheduler-overhead benchmark (Figure 10)."""
+        """Recompute the scheduling plan from scratch (Algorithm 1).
+
+        This is the oracle path: incremental maintenance must produce plans
+        equal to this one at every decision point.  Exposed for tests and
+        for the scheduler-overhead benchmark (Figure 10)."""
+        t0 = time.perf_counter()
         space = self._ensure_atom_space()
         num_active = max(1, len(self.jobs))
         open_jobs = [
@@ -265,16 +383,95 @@ class VennScheduler(SeededRngMixin, BasePolicy):
             queue_lengths[group.key] = self.fairness.adjusted_queue_length(
                 waiting, float(len(waiting)), now, num_active
             )
+        rates = self.supply.rates(now)
         self._plan = build_plan(
             registry.groups(),
             space,
-            self.supply.rates(now),
+            rates,
             queue_lengths,
             reallocate=self.enable_reallocation,
         )
+        if self._incremental_enabled:
+            # Snapshot the fresh state so later triggers can be served by
+            # in-place deltas against this plan.
+            self._maintainer.adopt(
+                self._plan,
+                registry,
+                space,
+                rates,
+                self.supply.signature_version,
+            )
+        else:
+            self._maintainer.reset()
+        self._demand_dirty.clear()  # the fresh snapshot covers every job
         self._plan_dirty = False
         self.plan_rebuilds += 1
+        self.plan_profile.full_rebuilds += 1
+        self.plan_profile.full_rebuild_time_s += time.perf_counter() - t0
         return self._plan
+
+    def _job_states(self) -> Iterator:
+        """Ordering inputs of the jobs marked demand-dirty since the last
+        refresh (jobs untouched by any trigger or assignment are unchanged
+        by construction, so they are not re-derived).
+
+        Only valid at ε == 0 (enforced by ``_incremental_enabled``), where
+        the oracle's fairness adjustment is the identity: adjusted demand
+        is the raw remaining demand, or the arrival time under the FIFO
+        ablation."""
+        for job_id in self._demand_dirty:
+            job = self.jobs.get(job_id)
+            if job is None:
+                continue  # departed; handled via the delta's removed set
+            raw = self._intra_group_demand(job_id)
+            if self.enable_scheduling:
+                adjusted = float(raw)
+            else:
+                adjusted = self.job_arrival.get(job_id, 0.0)
+            request = self.open_requests.get(job_id)
+            has_open = (
+                request is not None
+                and request.is_open
+                and request.remaining_demand > 0
+            )
+            yield job_id, job.requirement, raw, adjusted, has_open
+
+    def refresh_plan(self, now: float) -> SchedulingPlan:
+        """Bring the plan up to date using the configured maintenance mode.
+
+        No-op when the plan is clean.  Chooses between the in-place delta
+        path and the full oracle according to the accumulated
+        :class:`~repro.core.plan_delta.PlanDelta` classification."""
+        if not self._plan_dirty:
+            return self._plan
+        maintainer = self._maintainer
+        if not self._incremental_enabled:
+            if self.plan_maintenance == "incremental":
+                # Incremental was requested but fairness is active.
+                self.plan_profile.record_trigger(Trigger.FAIRNESS_ACTIVE)
+            return self.rebuild_plan(now)
+        if (
+            maintainer.delta.needs_full
+            or not maintainer.adopted
+            or maintainer.plan is not self._plan
+        ):
+            if not maintainer.adopted:
+                self.plan_profile.record_trigger(Trigger.FORCED_FULL)
+            return self.rebuild_plan(now)
+        t0 = time.perf_counter()
+        plan = maintainer.apply(
+            job_states=self._job_states(),
+            rates=self.supply.rates(now),
+            space=self._ensure_atom_space(),
+            supply_version=self.supply.signature_version,
+            reallocate=self.enable_reallocation,
+            profile=self.plan_profile,
+        )
+        self._demand_dirty.clear()
+        self._plan_dirty = False
+        self.plan_profile.incremental_updates += 1
+        self.plan_profile.incremental_time_s += time.perf_counter() - t0
+        return plan
 
     @property
     def plan(self) -> SchedulingPlan:
@@ -302,14 +499,18 @@ class VennScheduler(SeededRngMixin, BasePolicy):
         if not self.open_requests:
             return None
         if self._plan_dirty:
-            self.rebuild_plan(now)
+            self.refresh_plan(now)
         signature = self._signature_for(device)
         if self.use_index:
             # Indexed fast path: the precomputed candidate tuple only lists
             # groups contained in the signature, so every candidate job is
             # eligible by construction and no per-job requirement re-check
             # is needed.
-            candidates = self._plan.index().candidates(signature)
+            index = self._plan._index
+            if index is None:
+                index = self._plan.index()
+                self.plan_profile.index_rebuilds += 1
+            candidates = index.candidates(signature)
         else:
             candidates = self._plan.ordered_jobs_for(signature)
         fallback: Optional[ResourceRequest] = None
@@ -327,11 +528,17 @@ class VennScheduler(SeededRngMixin, BasePolicy):
                     continue
             decision = self._tier_decision_for(request)
             if decision.accepts(device):
+                # The engine records the assignment right after this return,
+                # changing the job's remaining demand: mark it so the next
+                # incremental refresh re-derives exactly this job's inputs.
+                self._demand_dirty.add(job_id)
                 return request
             if fallback is None:
                 # Remember the first tier-restricted request so the device is
                 # not wasted when no later job in the order can use it.
                 fallback = request
+        if fallback is not None:
+            self._demand_dirty.add(fallback.job_id)
         return fallback
 
 

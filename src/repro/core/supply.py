@@ -78,6 +78,11 @@ class SupplyEstimator:
         self._first_event_time: Optional[float] = None
         self._last_event_time: Optional[float] = None
         self._total_checkins = 0
+        #: Bumped whenever :meth:`observed_signatures` grows — consumers
+        #: (the incremental plan-maintenance layer) cache per-group eligible
+        #: atom sets against this version instead of re-deriving them on
+        #: every plan refresh.
+        self._signature_version = len(self._prior)
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -96,7 +101,12 @@ class SupplyEstimator:
                 f"(got {now} after {self._last_event_time})"
             )
         bucket = int(now // self._bucket_width)
-        ring = self._buckets[sig]
+        ring = self._buckets.get(sig)
+        if ring is None:
+            ring = self._buckets[sig] = deque()
+            if sig not in self._prior:
+                # A signature never seen before: the observed set grew.
+                self._signature_version += 1
         if ring and ring[-1][0] == bucket:
             ring[-1][1] += 1
         else:
@@ -182,6 +192,16 @@ class SupplyEstimator:
     def total_checkins(self) -> int:
         """Total number of check-ins ever recorded (window-independent)."""
         return self._total_checkins
+
+    @property
+    def signature_version(self) -> int:
+        """Monotonic version of the observed-signature *set*.
+
+        Unchanged version guarantees :meth:`observed_signatures` (and hence
+        the key set of :meth:`rates`) is unchanged — rate *values* still
+        drift with time and new check-ins.
+        """
+        return self._signature_version
 
 
 __all__ = ["DEFAULT_NUM_BUCKETS", "DEFAULT_WINDOW", "SupplyEstimator"]

@@ -49,7 +49,7 @@ class JobState(enum.Enum):
     CANCELLED = "cancelled"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeviceProfile:
     """A single edge device.
 
@@ -159,7 +159,7 @@ class JobSpec:
         return max(1, math.ceil(self.min_report_fraction * self.demand_per_round))
 
 
-@dataclass
+@dataclass(slots=True)
 class ResourceRequest:
     """One round's resource request (paper Figure 6, step 0).
 
@@ -190,15 +190,20 @@ class ResourceRequest:
     acquired_time: Optional[float] = None
     #: Time at which the request reached a terminal state.
     close_time: Optional[float] = None
+    #: Devices still needed to fully satisfy this request.  Maintained by
+    #: :meth:`record_assignment` (always ``max(0, demand - len(assigned))``)
+    #: instead of being recomputed per read: this is one of the hottest
+    #: fields in the simulator (every candidate walked at every check-in
+    #: reads it).
+    remaining_demand: int = field(init=False)
 
-    @property
-    def remaining_demand(self) -> int:
-        """Devices still needed to fully satisfy this request."""
-        return max(0, self.demand - len(self.assigned))
+    def __post_init__(self) -> None:
+        self.remaining_demand = max(0, self.demand - len(self.assigned))
 
     @property
     def is_open(self) -> bool:
-        return self.state in (RequestState.PENDING, RequestState.COLLECTING)
+        state = self.state
+        return state is RequestState.PENDING or state is RequestState.COLLECTING
 
     def is_assigned(self, device_id: int) -> bool:
         """O(1) test whether ``device_id`` is already assigned here."""
@@ -221,6 +226,7 @@ class ResourceRequest:
         self.assigned.append(device_id)
         self.assigned_ids[device_id] = now
         self.assigned_times.append(now)
+        self.remaining_demand = max(0, self.demand - len(self.assigned))
         if self.remaining_demand == 0:
             self.state = RequestState.COLLECTING
             self.acquired_time = now

@@ -65,12 +65,22 @@ class ExperimentConfig:
     capacity: CapacityConfig = field(default_factory=CapacityConfig)
     #: Simulation engine knobs.
     simulation: SimulationConfig = field(default_factory=SimulationConfig)
+    #: How the Venn scheduler maintains its plan between triggers:
+    #: ``"incremental"`` (default, in-place deltas, decision-identical) or
+    #: ``"full"`` (from-scratch rebuild on every trigger — the oracle).
+    #: Forwarded to every ``venn*`` policy built for this experiment.
+    plan_maintenance: str = "incremental"
 
     def __post_init__(self) -> None:
         if self.num_devices <= 0 or self.num_jobs <= 0:
             raise ValueError("num_devices and num_jobs must be positive")
         if self.horizon <= 0:
             raise ValueError("horizon must be positive")
+        if self.plan_maintenance not in ("incremental", "full"):
+            raise ValueError(
+                "plan_maintenance must be 'incremental' or 'full', got "
+                f"{self.plan_maintenance!r}"
+            )
         # Keep nested configs consistent with the top-level knobs.  The
         # simulation seed is re-derived from the root seed here, so every
         # ``replace``-based copy (``with_seed``, ``with_scenario``, ...)

@@ -6,6 +6,7 @@ from .engine import SimulationConfig, Simulator, run_simulation
 from .events import Event, EventQueue, EventType
 from .job import JobRuntime, RoundRecord
 from .latency import LatencyConfig, ResponseLatencyModel
+from .profile import PlanMaintenanceProfile
 from .metrics import (
     JobMetrics,
     SimulationMetrics,
@@ -25,6 +26,7 @@ __all__ = [
     "JobRuntime",
     "LatencyConfig",
     "PendingRequestPool",
+    "PlanMaintenanceProfile",
     "ResponseLatencyModel",
     "RoundRecord",
     "SECONDS_PER_DAY",

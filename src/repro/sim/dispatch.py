@@ -50,6 +50,10 @@ class PendingRequestPool:
         self._jobs: Dict[int, str] = {}
         #: Multiset of pending requirement names.
         self._req_counts: Counter = Counter()
+        #: Bumped whenever the *set* of pending requirement names changes.
+        #: Dispatch compares this instead of materialising (and comparing)
+        #: a fresh name set per visited device.
+        self.names_version: int = 0
 
     def __bool__(self) -> bool:
         return bool(self._jobs)
@@ -62,9 +66,14 @@ class PendingRequestPool:
 
     def add(self, job_id: int, requirement_name: str) -> None:
         """A request opened (or re-opened) with unmet demand."""
-        if job_id in self._jobs:
+        old = self._jobs.get(job_id)
+        if old == requirement_name:
+            return  # re-open under the same name: multiset unchanged
+        if old is not None:
             self.remove(job_id)
         self._jobs[job_id] = requirement_name
+        if self._req_counts[requirement_name] == 0:
+            self.names_version += 1
         self._req_counts[requirement_name] += 1
 
     def remove(self, job_id: int) -> None:
@@ -75,6 +84,7 @@ class PendingRequestPool:
         self._req_counts[name] -= 1
         if self._req_counts[name] <= 0:
             del self._req_counts[name]
+            self.names_version += 1
 
     def pending_requirements(self) -> Set[str]:
         """Requirement names with at least one unsatisfied request."""
@@ -159,27 +169,30 @@ class IdleDevicePool:
     # ------------------------------------------------------------------ #
     def dispatch(
         self,
-        requirement_names: Set[str],
+        pending_pool: PendingRequestPool,
         now: float,
-        visit: Callable[[int], Set[str]],
+        visit: Callable[[int], None],
     ) -> None:
         """Offer candidate devices to ``visit`` in ascending device-id order.
 
-        Only buckets whose signature intersects the pending
-        ``requirement_names`` are visited — devices that cannot satisfy any
-        pending requirement are never touched.  ``visit`` returns the set of
-        requirement names still pending *after* the offer (empty to stop).
-        Demand can only shrink while dispatching (responses and deadlines
-        are future events), so when a requirement drops out the bucket list
-        is re-filtered and the remaining sweep narrows to signatures that
-        can still serve something — e.g. once the general jobs fill, a
-        million general-only devices are no longer walked in search of the
-        last high-performance stragglers.  Devices that remain active after
-        being visited are re-queued for future dispatches; each device is
-        visited at most once per call.
+        Only buckets whose signature intersects the pool's pending
+        requirement names are visited — devices that cannot satisfy any
+        pending requirement are never touched.  ``visit`` offers one device
+        to the policy; whether the pending *name set* changed afterwards is
+        detected through the pool's ``names_version`` counter (an int
+        compare per visit, instead of materialising and comparing a fresh
+        set).  Demand can only shrink while dispatching (responses and
+        deadlines are future events), so when a requirement drops out the
+        bucket list is re-filtered and the remaining sweep narrows to
+        signatures that can still serve something — e.g. once the general
+        jobs fill, a million general-only devices are no longer walked in
+        search of the last high-performance stragglers.  Devices that
+        remain active after being visited are re-queued for future
+        dispatches; each device is visited at most once per call.
         """
         self.promote(now)
-        pending = set(requirement_names)
+        pending = pending_pool.pending_requirements()
+        version = pending_pool.names_version
 
         def eligible_buckets() -> List[List[int]]:
             return [
@@ -207,11 +220,12 @@ class IdleDevicePool:
             # A discard-then-re-add can leave duplicate heap entries; the
             # ``seen`` set guarantees each device is visited at most once.
             seen.add(device_id)
-            still_pending = visit(device_id)
+            visit(device_id)
             if device_id in self._active:
                 revisit.append(device_id)
-            if still_pending != pending:
-                pending = set(still_pending)
+            if pending_pool.names_version != version:
+                version = pending_pool.names_version
+                pending = pending_pool.pending_requirements()
                 buckets = eligible_buckets()
         for device_id in revisit:
             signature = self._active.get(device_id)

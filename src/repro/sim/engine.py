@@ -51,6 +51,12 @@ Randomness is drawn from one injected :class:`numpy.random.Generator`
 (seeded by ``SimulationConfig.seed``): the engine's latency model shares it,
 and the policy adopts it via ``bind_rng`` unless it was explicitly seeded —
 so one seed determines an entire run bit-for-bit.
+
+Policies that maintain a scheduling plan (Venn) expose a
+:class:`~repro.sim.profile.PlanMaintenanceProfile`; the engine snapshots it
+into ``SimulationMetrics.plan_maintenance`` at the end of the run so
+benchmarks and sweeps can report rebuilds avoided, index patch sizes and
+the plan-maintenance time share without reaching into the policy.
 """
 
 from __future__ import annotations
@@ -144,6 +150,12 @@ class Simulator:
         self.jobs: Dict[int, JobRuntime] = {j.job_id: JobRuntime(spec=j) for j in jobs}
         if len(self.jobs) != len(jobs):
             raise ValueError("job ids must be unique")
+        # Maintained count of jobs still running, so the main loop's
+        # everything-done check is O(1) per event instead of a scan over
+        # all jobs (jobs only finish inside _maybe_complete_request).
+        self._unfinished_jobs = sum(
+            1 for j in self.jobs.values() if not j.is_finished
+        )
 
         self.queue = EventQueue()
         self.now = 0.0
@@ -229,7 +241,7 @@ class Simulator:
                     "simulation exceeded max_events; check for livelock or "
                     "raise SimulationConfig.max_events"
                 )
-            if all(j.is_finished for j in self.jobs.values()):
+            if self._unfinished_jobs == 0:
                 break
         self._finalise()
         return self._metrics
@@ -247,6 +259,11 @@ class Simulator:
             self._metrics.jobs[job.job_id] = collect_job_metrics(
                 job, category=self._categories.get(job.job_id, "general")
             )
+        # Snapshot the policy's plan-maintenance counters (Venn exposes a
+        # profile; baselines do not maintain a plan).
+        profile = getattr(self.policy, "plan_profile", None)
+        if profile is not None:
+            self._metrics.plan_maintenance = profile.as_dict()
 
     # ------------------------------------------------------------------ #
     # Idle-device bookkeeping
@@ -290,14 +307,14 @@ class Simulator:
     # Event handlers
     # ------------------------------------------------------------------ #
     def _on_job_arrival(self, event: Event) -> None:
-        job = self.jobs[event.payload["job_id"]]
+        job = self.jobs[event.job_id]
         self.policy.on_job_arrival(job.spec, self.now)
         self._open_request(job)
         self._dispatch_idle_devices()
 
     def _on_device_checkin(self, event: Event) -> None:
-        device = self.devices[event.payload["device_id"]]
-        session_end = event.payload["session_end"]
+        device = self.devices[event.device_id]
+        session_end = event.session_end
         if device.status is DeviceStatus.BUSY:
             # The previous task overran into this session; treat the new
             # session as extending the device's online window.
@@ -311,8 +328,8 @@ class Simulator:
             self._try_assign(device)
 
     def _on_device_checkout(self, event: Event) -> None:
-        device = self.devices[event.payload["device_id"]]
-        session_end = event.payload["session_end"]
+        device = self.devices[event.device_id]
+        session_end = event.session_end
         if device.status is DeviceStatus.BUSY:
             return  # resolved when the task finishes
         if device.is_online and device.session_end <= session_end:
@@ -320,10 +337,9 @@ class Simulator:
             self._note_not_idle(device.device_id)
 
     def _on_device_response(self, event: Event) -> None:
-        payload = event.payload
-        device = self.devices[payload["device_id"]]
-        success: bool = payload["success"]
-        request = self._requests.get(payload["request_id"])
+        device = self.devices[event.device_id]
+        success: bool = event.success
+        request = self._requests.get(event.request_id)
         device.finish_task(self.now, success)
         if device.is_idle:
             self._note_idle(device)
@@ -349,7 +365,7 @@ class Simulator:
             self._try_assign(device)
 
     def _on_request_deadline(self, event: Event) -> None:
-        request = self._requests.get(event.payload["request_id"])
+        request = self._requests.get(event.request_id)
         if request is None or not request.is_open:
             return
         job = self.jobs[request.job_id]
@@ -398,6 +414,7 @@ class Simulator:
         self.policy.on_request_closed(request, self.now)
         finished = job.complete_round(self.now)
         if finished:
+            self._unfinished_jobs -= 1
             self.policy.on_job_finished(job.job_id, self.now)
         else:
             self._open_request(job)
@@ -475,17 +492,13 @@ class Simulator:
             return
         if self._indexed:
             cfg_daily = self.config.enforce_daily_limit
-            pending = self._pending
 
-            def visit(device_id: int) -> set:
+            def visit(device_id: int) -> None:
                 device = self.devices[device_id]
                 if device.can_take_task(self.now, cfg_daily):
                     self._try_assign(device)
-                return pending.pending_requirements()
 
-            self._idle_pool.dispatch(
-                pending.pending_requirements(), self.now, visit
-            )
+            self._idle_pool.dispatch(self._pending, self.now, visit)
             return
         for device_id in sorted(self._idle_devices):
             device = self.devices[device_id]

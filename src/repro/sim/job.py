@@ -8,7 +8,7 @@ from typing import List, Optional
 from ..core.types import JobSpec, JobState, RequestState, ResourceRequest
 
 
-@dataclass
+@dataclass(slots=True)
 class RoundRecord:
     """Outcome of one (possibly retried) training round."""
 
@@ -22,7 +22,7 @@ class RoundRecord:
     completed: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class JobRuntime:
     """Mutable simulation state of one CL job."""
 

@@ -70,6 +70,10 @@ class SimulationMetrics:
     total_failures: int = 0
     #: Total aborted round attempts across all jobs.
     total_aborts: int = 0
+    #: Plan-maintenance profile snapshot (policies that expose a
+    #: ``plan_profile``, i.e. Venn; ``None`` otherwise).  See
+    #: :class:`repro.sim.profile.PlanMaintenanceProfile`.
+    plan_maintenance: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------ #
     # JCT aggregates

@@ -1,0 +1,16 @@
+"""Simulation-facing surface of the plan-maintenance instrumentation.
+
+The actual dataclass lives in :mod:`repro.core.profile` — its producers
+are the scheduler and the incremental delta layer, and ``repro.sim``
+already depends on ``repro.core``, so defining it core-side keeps the
+package layering acyclic.  This module re-exports it for consumers that
+reach for it from the simulation side (the engine snapshots a profile
+into ``SimulationMetrics.plan_maintenance``; benchmarks read it from
+there).
+"""
+
+from __future__ import annotations
+
+from ..core.profile import PlanMaintenanceProfile
+
+__all__ = ["PlanMaintenanceProfile"]

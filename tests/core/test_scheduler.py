@@ -110,8 +110,33 @@ class TestVennSchedulerAssignment:
         sched.on_device_checkin(weak, 0.0)
         assert sched.assign(weak, 1.0) is None
 
-    def test_plan_rebuilt_on_request_events(self):
+    def test_plan_refreshed_on_request_events(self):
+        """Request events invalidate the plan; with incremental maintenance
+        (the default) a same-requirement trigger is served by an in-place
+        update instead of a from-scratch rebuild."""
         sched = VennScheduler(seed=0)
+
+        def refreshes():
+            return sched.plan_rebuilds + sched.plan_profile.incremental_updates
+
+        open_request(sched, make_job(1, GENERAL, demand=5), request_id=1)
+        sched.assign(make_device(device_id=1), 1.0)
+        seen = refreshes()
+        request2 = open_request(sched, make_job(2, GENERAL, demand=5), request_id=2)
+        sched.assign(make_device(device_id=2), 2.0)
+        assert refreshes() > seen
+        # Job 2 shares job 1's requirement, so its arrival + request were
+        # classified incrementally — no extra full rebuild.
+        assert sched.plan_profile.incremental_updates > 0
+        request2.state = request2.state.__class__.COMPLETED
+        sched.on_request_closed(request2, 3.0)
+        sched.assign(make_device(device_id=3), 4.0)
+        assert refreshes() > seen + 1
+
+    def test_plan_rebuilt_on_request_events_in_full_mode(self):
+        """The oracle mode preserves the paper-literal behaviour: every
+        trigger is served by a full rebuild."""
+        sched = VennScheduler(seed=0, plan_maintenance="full")
         open_request(sched, make_job(1, GENERAL, demand=5), request_id=1)
         sched.assign(make_device(device_id=1), 1.0)
         rebuilds = sched.plan_rebuilds
@@ -122,6 +147,7 @@ class TestVennSchedulerAssignment:
         sched.on_request_closed(request2, 3.0)
         sched.assign(make_device(device_id=3), 4.0)
         assert sched.plan_rebuilds > rebuilds + 1
+        assert sched.plan_profile.incremental_updates == 0
 
 
 class TestVennSchedulerMatchingIntegration:

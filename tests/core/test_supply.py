@@ -121,3 +121,40 @@ class TestSupplyEstimator:
             assert rate_a >= rate_b
         elif n_b > n_a:
             assert rate_b >= rate_a
+
+
+class TestSignatureVersion:
+    """The observed-signature version the incremental plan maintainer
+    caches eligible-atom sets against."""
+
+    def test_version_bumps_only_on_new_signatures(self):
+        est = SupplyEstimator(window=1000.0)
+        v0 = est.signature_version
+        est.record_checkin(SIG_A, 1.0)
+        assert est.signature_version == v0 + 1
+        est.record_checkin(SIG_A, 2.0)
+        est.record_checkin(SIG_A, 3.0)
+        assert est.signature_version == v0 + 1  # repeat: set unchanged
+        est.record_checkin(SIG_B, 4.0)
+        assert est.signature_version == v0 + 2
+
+    def test_prior_signatures_count_at_init(self):
+        est = SupplyEstimator(window=1000.0, prior_rates={SIG_A: 0.5})
+        v0 = est.signature_version
+        # A check-in for a signature already known through the prior does
+        # not grow the observed set.
+        est.record_checkin(SIG_A, 1.0)
+        assert est.signature_version == v0
+        est.record_checkin(SIG_B, 2.0)
+        assert est.signature_version == v0 + 1
+
+    def test_unchanged_version_means_unchanged_rate_keys(self):
+        est = SupplyEstimator(window=1000.0)
+        est.record_checkin(SIG_A, 1.0)
+        est.record_checkin(SIG_B, 2.0)
+        version = est.signature_version
+        keys = set(est.rates(10.0))
+        est.record_checkin(SIG_A, 11.0)
+        est.record_checkin(SIG_B, 12.0)
+        assert est.signature_version == version
+        assert set(est.rates(20.0)) == keys

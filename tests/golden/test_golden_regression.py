@@ -13,9 +13,11 @@ fixtures:
 
 Any hot-path refactor that silently changes a scheduling decision shows up
 here as a diff against the fixture.  The tests also run every scenario on
-both the indexed fast path and the ``--legacy-scan`` path and require
-*bit-identical* outcomes, which is the acceptance evidence that the
-``AtomIndex`` machinery changes performance, not decisions.
+both the indexed fast path and the ``--legacy-scan`` path, and in both
+plan-maintenance modes (incremental deltas vs the full ``build_plan``
+oracle), and require *bit-identical* outcomes — the acceptance evidence
+that the ``AtomIndex`` and ``PlanDelta`` machinery change performance, not
+decisions.
 
 Regenerate fixtures intentionally with::
 
@@ -103,11 +105,15 @@ def scenario(name: str):
     return devices, trace, jobs, horizon
 
 
-def plan_snapshot(name: str, use_index: bool) -> dict:
+def plan_snapshot(
+    name: str, use_index: bool, plan_maintenance: str = "incremental"
+) -> dict:
     """Deterministic mid-workload plan: register jobs, observe supply,
     rebuild, and serialise the plan."""
     devices, _trace, jobs, _horizon = scenario(name)
-    policy = VennScheduler(seed=7, use_index=use_index)
+    policy = VennScheduler(
+        seed=7, use_index=use_index, plan_maintenance=plan_maintenance
+    )
     now = 0.0
     for job in jobs:
         policy.on_job_arrival(job, job.arrival_time)
@@ -143,9 +149,13 @@ def job_request(job: JobSpec):
     )
 
 
-def simulation_snapshot(name: str, use_index: bool) -> dict:
+def simulation_snapshot(
+    name: str, use_index: bool, plan_maintenance: str = "incremental"
+) -> dict:
     devices, trace, jobs, horizon = scenario(name)
-    policy = VennScheduler(seed=7, use_index=use_index)
+    policy = VennScheduler(
+        seed=7, use_index=use_index, plan_maintenance=plan_maintenance
+    )
     config = SimulationConfig(
         horizon=horizon,
         seed=11,
@@ -219,3 +229,23 @@ class TestGoldenScenarios:
         fast = simulation_snapshot(name, True)
         legacy = simulation_snapshot(name, False)
         assert fast == legacy
+
+    def test_incremental_and_full_maintenance_agree_exactly(self, name):
+        """Incremental plan maintenance (the default) must make bit-identical
+        scheduling decisions to the from-scratch ``build_plan`` oracle —
+        including on the frozen golden fixture, which both modes must
+        reproduce."""
+        assert plan_snapshot(name, True, "incremental") == plan_snapshot(
+            name, True, "full"
+        )
+        incremental = simulation_snapshot(name, True, "incremental")
+        full = simulation_snapshot(name, True, "full")
+        assert incremental == full
+        path = fixture_path(name)
+        if not os.environ.get("REGEN_GOLDEN"):
+            with open(path) as fh:
+                expected = json.load(fh)
+            # The frozen fixture is the decision record: the incremental
+            # run must land on it exactly, not merely agree with today's
+            # full-mode code.
+            assert_matches(incremental, expected["jobs"])

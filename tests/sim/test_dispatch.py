@@ -47,12 +47,42 @@ class TestPendingRequestPool:
         pool.remove(99)
         assert pool.pending_requirements() == {"general"}
 
+    def test_names_version_tracks_name_set_changes_only(self):
+        pool = PendingRequestPool()
+        v0 = pool.names_version
+        pool.add(1, "general")
+        assert pool.names_version == v0 + 1  # new name appeared
+        pool.add(2, "general")
+        assert pool.names_version == v0 + 1  # multiset grew, set unchanged
+        pool.add(2, "general")  # same-job re-open: no-op
+        assert pool.names_version == v0 + 1
+        pool.remove(1)
+        assert pool.names_version == v0 + 1  # still one 'general'
+        pool.remove(2)
+        assert pool.names_version == v0 + 2  # name disappeared
+
+
+class StaticPending:
+    """Stand-in for :class:`PendingRequestPool` in dispatch tests: exposes
+    the same ``pending_requirements()`` / ``names_version`` protocol, with
+    the test mutating the pending name set directly."""
+
+    def __init__(self, names):
+        self.names = set(names)
+        self.names_version = 0
+
+    def pending_requirements(self):
+        return set(self.names)
+
+    def set_names(self, names):
+        self.names = set(names)
+        self.names_version += 1
+
 
 class TestIdleDevicePool:
     def visit_order(self, pool, reqs, now=0.0):
         seen = []
-        reqs = set(reqs)
-        pool.dispatch(reqs, now, lambda d: (seen.append(d), reqs)[1])
+        pool.dispatch(StaticPending(reqs), now, seen.append)
         return seen
 
     def test_dispatch_ascending_and_filtered(self):
@@ -78,10 +108,14 @@ class TestIdleDevicePool:
         for d in range(5):
             pool.add(d, SIG_GEN)
         seen = []
-        pool.dispatch(
-            {"general"}, 0.0,
-            lambda d: (seen.append(d), {"general"} if d < 1 else set())[1],
-        )
+        pend = StaticPending({"general"})
+
+        def visit(d):
+            seen.append(d)
+            if d >= 1:
+                pend.set_names(set())
+
+        pool.dispatch(pend, 0.0, visit)
         assert seen == [0, 1]
         # Later dispatches still see every device.
         assert self.visit_order(pool, {"general"}) == [0, 1, 2, 3, 4]
@@ -95,16 +129,16 @@ class TestIdleDevicePool:
         pool.add(2, SIG_HP)
         pool.add(9, SIG_HP)
         seen = []
+        pend = StaticPending({"general", "high_performance"})
 
         def visit(d):
             seen.append(d)
             # The general job fills after the first offer; only
             # high_performance demand remains.
-            return {"high_performance"} if len(seen) >= 1 else {
-                "general", "high_performance"
-            }
+            if len(seen) == 1:
+                pend.set_names({"high_performance"})
 
-        pool.dispatch({"general", "high_performance"}, 0.0, visit)
+        pool.dispatch(pend, 0.0, visit)
         # Device 1 (general bucket head) is offered first; after the general
         # demand drops, only the HP-signature devices are walked.
         assert seen == [1, 2, 9]

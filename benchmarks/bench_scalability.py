@@ -28,11 +28,19 @@ Axes that can be compared:
   the in-place delta layer (``repro/core/plan_delta.py``) against the
   from-scratch ``build_plan`` oracle.  Decision hashes must match exactly;
   the benchmark exits non-zero if they do not.
+* **sharded vs single-queue engine** (``--num-shards 1,2,4,8``): the
+  coordinator/device-shard engine (``repro/sim/shard.py``) at each listed
+  shard count against the ``num_shards=1`` single-queue reference.  Both
+  the decision hash *and* a metrics digest (counters + per-job JCTs) must
+  match for every shard count — the sharded engine promises bit-identical
+  runs for any shard layout — and the benchmark exits non-zero on any
+  divergence (the CI ``shard-identity`` gate).
 
-``--smoke`` runs one tiny cell across all three combinations (seconds; used
-by CI), and ``--check-baseline`` fails the run when the indexed+incremental
-``events_per_sec`` regresses more than ``--max-regression`` against a
-committed artifact — the CI ``perf-smoke`` gate.
+``--smoke`` runs one tiny cell across all combinations, including
+``num_shards=2`` (seconds; used by CI), and ``--check-baseline`` fails the
+run when any indexed/sharded+incremental ``events_per_sec`` regresses more
+than ``--max-regression`` against a committed artifact — the CI
+``perf-smoke`` gate.
 
 Examples
 --------
@@ -48,10 +56,12 @@ The acceptance cells (both comparisons, 24 h horizon)::
         --compare --maintenance-compare \
         --output benchmarks/out/scalability_100k.json
 
-The million-device cell (indexed only; the legacy scan takes ~40 min)::
+The million-device cell with the shard sweep (the legacy scan takes ~40 min
+and is skipped above ``--legacy-max-devices``)::
 
     PYTHONPATH=src python benchmarks/bench_scalability.py \
         --devices 1000000 --jobs 50 --horizon-hours 24 \
+        --num-shards 1,2,4,8 \
         --maintenance-compare --output benchmarks/out/scalability_1m.json
 """
 
@@ -148,6 +158,28 @@ def percentile_us(lat: np.ndarray, q: float) -> Optional[float]:
     return round(float(np.percentile(lat, q)) * 1e6, 2)
 
 
+def metrics_hash(metrics) -> str:
+    """Digest of the merged run metrics (counters + per-job censored JCTs).
+
+    The shard-identity gate compares this *in addition to* the decision
+    hash: identical decisions with a broken metrics reduction (e.g. a
+    double-counted shard) would still be caught.
+    """
+    fp = hashlib.blake2b(digest_size=16)
+    fp.update(
+        struct.pack(
+            "<qqqq",
+            metrics.total_checkins,
+            metrics.total_responses,
+            metrics.total_failures,
+            metrics.total_aborts,
+        )
+    )
+    for job_id, jct in sorted(metrics.job_jcts().items()):
+        fp.update(struct.pack("<qd", job_id, jct))
+    return fp.hexdigest()
+
+
 def run_cell(
     num_devices: int,
     num_jobs: int,
@@ -157,6 +189,7 @@ def run_cell(
     indexed: bool,
     maintenance: str,
     repeats: int = 1,
+    num_shards: int = 1,
 ) -> Dict:
     """Run one cell ``repeats`` times and keep the fastest run.
 
@@ -169,7 +202,7 @@ def run_cell(
     for _ in range(max(1, repeats)):
         cell = _run_cell_once(
             num_devices, num_jobs, horizon, seed, policy_name, indexed,
-            maintenance,
+            maintenance, num_shards,
         )
         if best is not None and cell["decision_hash"] != best["decision_hash"]:
             raise AssertionError(
@@ -189,6 +222,7 @@ def _run_cell_once(
     policy_name: str,
     indexed: bool,
     maintenance: str,
+    num_shards: int = 1,
 ) -> Dict:
     devices, trace, workload = build_cell(num_devices, num_jobs, horizon, seed)
     kwargs = {}
@@ -202,18 +236,26 @@ def _run_cell_once(
         indexed_dispatch=indexed,
         latency=LatencyConfig(),
         max_events=200_000_000,
+        num_shards=num_shards,
     )
     sim = Simulator(devices, trace, workload, policy, config)
     t0 = time.perf_counter()
     metrics = sim.run()
     wall = time.perf_counter() - t0
     lat = np.asarray(policy.assign_latencies, dtype=float)
+    if num_shards > 1:
+        path = "sharded"
+    elif indexed:
+        path = "indexed"
+    else:
+        path = "legacy-scan"
     cell = {
         "devices": num_devices,
         "jobs": num_jobs,
         "horizon_s": horizon,
         "policy": policy.name,
-        "path": "indexed" if indexed else "legacy-scan",
+        "path": path,
+        "num_shards": num_shards,
         "plan_maintenance": (
             maintenance if policy_name.startswith("venn") else None
         ),
@@ -231,6 +273,7 @@ def _run_cell_once(
         "completion_rate": metrics.completion_rate,
         "plan_rebuilds": getattr(policy, "plan_rebuilds", None),
         "decision_hash": policy.decision_hash,
+        "metrics_hash": metrics_hash(metrics),
     }
     profile = metrics.plan_maintenance
     if profile is not None:
@@ -250,24 +293,36 @@ def parse_int_list(text: str) -> List[int]:
     return [int(x) for x in text.replace(" ", "").split(",") if x]
 
 
-def cell_combos(args, policy_is_venn: bool, num_devices: int) -> List[Tuple[bool, str]]:
-    """(indexed, plan_maintenance) combinations to run per cell."""
+def cell_combos(
+    args, policy_is_venn: bool, num_devices: int
+) -> List[Tuple[bool, str, int]]:
+    """(indexed, plan_maintenance, num_shards) combinations per cell.
+
+    The shard sweep applies to the primary (indexed, primary-maintenance)
+    configuration; the maintenance-compare and legacy-scan references run
+    once, on the single-queue engine, since the shard-identity gate already
+    pins every shard count to the num_shards=1 decisions bit-for-bit.
+    """
     maint = args.plan_maintenance if policy_is_venn else "full"
-    combos: List[Tuple[bool, str]] = []
+    combos: List[Tuple[bool, str, int]] = []
     if args.legacy_scan:
-        combos.append((False, "full"))
+        combos.append((False, "full", 1))
         return combos
-    combos.append((True, maint))
+    for shards in args.shard_counts:
+        combos.append((True, maint, shards))
+    if 1 not in args.shard_counts:
+        # The sharding comparison needs its single-queue reference.
+        combos.insert(0, (True, maint, 1))
     if args.maintenance_compare and policy_is_venn:
         other = "full" if maint == "incremental" else "incremental"
-        combos.append((True, other))
+        combos.append((True, other, 1))
     if args.compare and num_devices <= args.legacy_max_devices:
         # The legacy-scan reference always runs the paper-literal full
         # rebuild: it reproduces the seed's behaviour.  Cells above
         # --legacy-max-devices skip it (the linear scans take O(hours) at
         # 10^6 devices; the equivalence is already pinned at smaller cells
         # and by the golden tests).
-        combos.append((False, "full"))
+        combos.append((False, "full", 1))
     return combos
 
 
@@ -289,6 +344,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--plan-maintenance", default="incremental",
                         choices=["incremental", "full"],
                         help="Venn plan-maintenance mode for the primary run")
+    parser.add_argument("--num-shards", default="1",
+                        help="comma-separated device-shard counts for the "
+                             "primary configuration (1 = single-queue "
+                             "engine).  Decision and metrics hashes must "
+                             "match across all counts; divergence fails "
+                             "the run")
     parser.add_argument("--legacy-scan", action="store_true",
                         help="measure the pre-index linear-scan path only")
     parser.add_argument("--compare", action="store_true",
@@ -318,32 +379,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     device_counts = parse_int_list(args.devices)
     job_counts = parse_int_list(args.jobs)
     horizon = args.horizon_hours * 3600.0
+    args.shard_counts = parse_int_list(args.num_shards)
     if args.smoke:
         # Big enough that events_per_sec is stable (a sub-0.1 s cell would
         # make the CI regression gate pure noise), small enough to finish
-        # all three path/mode combos in seconds.
+        # all path/mode/shard combos in seconds.
         device_counts, job_counts, horizon = [5000], [8], 6 * 3600.0
         args.compare = True
         args.maintenance_compare = True
+        if args.shard_counts == [1]:
+            args.shard_counts = [1, 2]
 
     policy_is_venn = args.policy.startswith("venn")
     decision_mismatch = False
     cells: List[Dict] = []
     for n_dev in device_counts:
         for n_jobs in job_counts:
-            by_combo: Dict[Tuple[str, str], Dict] = {}
-            for indexed, maintenance in cell_combos(args, policy_is_venn, n_dev):
-                label = "indexed" if indexed else "legacy-scan"
+            by_combo: Dict[Tuple[str, str, int], Dict] = {}
+            for indexed, maintenance, shards in cell_combos(
+                args, policy_is_venn, n_dev
+            ):
+                if shards > 1:
+                    label = "sharded"
+                elif indexed:
+                    label = "indexed"
+                else:
+                    label = "legacy-scan"
                 print(
                     f"[cell] devices={n_dev} jobs={n_jobs} path={label} "
-                    f"maintenance={maintenance} ...",
+                    f"maintenance={maintenance} shards={shards} ...",
                     file=sys.stderr, flush=True,
                 )
                 cell = run_cell(
                     n_dev, n_jobs, horizon, args.seed, args.policy,
                     indexed, maintenance, repeats=args.repeats,
+                    num_shards=shards,
                 )
-                by_combo[(label, maintenance)] = cell
+                by_combo[(label, maintenance, shards)] = cell
                 cells.append(cell)
                 print(
                     f"[cell]   {cell['events_per_sec']:.0f} events/s, "
@@ -354,8 +426,52 @@ def main(argv: Optional[List[str]] = None) -> int:
                     file=sys.stderr, flush=True,
                 )
 
-            primary = ("indexed", args.plan_maintenance if policy_is_venn else "full")
-            legacy = ("legacy-scan", "full")
+            maint_primary = args.plan_maintenance if policy_is_venn else "full"
+            base_key = ("indexed", maint_primary, 1)
+            base_cell = by_combo.get(base_key)
+            for shards in sorted(set(args.shard_counts)):
+                if shards == 1:
+                    continue
+                sharded_cell = by_combo.get(("sharded", maint_primary, shards))
+                if sharded_cell is None or base_cell is None:
+                    continue
+                identical = (
+                    sharded_cell["decision_hash"] == base_cell["decision_hash"]
+                    and sharded_cell["metrics_hash"] == base_cell["metrics_hash"]
+                    and sharded_cell["events"] == base_cell["events"]
+                )
+                if not identical:
+                    # Fatal: the sharded engine promises bit-identical
+                    # decisions AND metrics for any shard count.
+                    decision_mismatch = True
+                    print(
+                        f"[cell] devices={n_dev} jobs={n_jobs} "
+                        f"SHARD IDENTITY DIVERGENCE at num_shards={shards}: "
+                        f"decisions {sharded_cell['decision_hash'][:12]} vs "
+                        f"{base_cell['decision_hash'][:12]}, metrics "
+                        f"{sharded_cell['metrics_hash'][:12]} vs "
+                        f"{base_cell['metrics_hash'][:12]}",
+                        file=sys.stderr, flush=True,
+                    )
+                ratio = (
+                    sharded_cell["events_per_sec"]
+                    / max(base_cell["events_per_sec"], 1e-9)
+                )
+                print(
+                    f"[cell] devices={n_dev} jobs={n_jobs} "
+                    f"sharded({shards})/single = {ratio:.2f}x, "
+                    f"identical: {identical}",
+                    file=sys.stderr, flush=True,
+                )
+                cells.append({
+                    "devices": n_dev, "jobs": n_jobs,
+                    "summary": "sharding", "num_shards": shards,
+                    "events_per_sec_ratio": round(ratio, 3),
+                    "decisions_identical": identical,
+                })
+
+            primary = ("indexed", maint_primary, 1)
+            legacy = ("legacy-scan", "full", 1)
             if primary in by_combo and legacy in by_combo:
                 speedup = (
                     by_combo[primary]["events_per_sec"]
@@ -391,8 +507,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "summary": "speedup", "events_per_sec_ratio": round(speedup, 3),
                     "decisions_identical": same,
                 })
-            inc = ("indexed", "incremental")
-            full = ("indexed", "full")
+            inc = ("indexed", "incremental", 1)
+            full = ("indexed", "full", 1)
             if inc in by_combo and full in by_combo:
                 if by_combo[inc]["decision_hash"] != by_combo[full]["decision_hash"]:
                     # This one IS fatal: incremental maintenance promises
@@ -445,8 +561,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"wrote {out_path}")
 
     if decision_mismatch:
-        print("FAIL: incremental and full plan maintenance made different "
-              "scheduling decisions", file=sys.stderr)
+        print("FAIL: a decision-identity contract was violated (incremental "
+              "vs full plan maintenance, or sharded vs single-queue engine "
+              "— see SHARD IDENTITY / MAINTENANCE DECISION lines above)",
+              file=sys.stderr)
         return 2
     if args.check_baseline:
         failures = check_baseline(cells, args.check_baseline, args.max_regression)
@@ -472,7 +590,7 @@ def check_baseline(
 
     def key(cell: Dict):
         return (cell["devices"], cell["jobs"], cell["path"],
-                cell.get("plan_maintenance"))
+                cell.get("plan_maintenance"), cell.get("num_shards", 1))
 
     base_cells = {
         key(c): c for c in baseline.get("cells", []) if "summary" not in c
@@ -482,7 +600,9 @@ def check_baseline(
     for cell in cells:
         if "summary" in cell:
             continue
-        if cell["path"] != "indexed" or cell.get("plan_maintenance") != "incremental":
+        if cell["path"] not in ("indexed", "sharded"):
+            continue
+        if cell.get("plan_maintenance") != "incremental":
             continue
         ref = base_cells.get(key(cell))
         if ref is None:
@@ -491,7 +611,8 @@ def check_baseline(
         floor = ref["events_per_sec"] * (1.0 - max_regression)
         if cell["events_per_sec"] < floor:
             failures.append(
-                f"devices={cell['devices']} jobs={cell['jobs']}: "
+                f"devices={cell['devices']} jobs={cell['jobs']} "
+                f"shards={cell.get('num_shards', 1)}: "
                 f"{cell['events_per_sec']:.0f} ev/s < {floor:.0f} "
                 f"(baseline {ref['events_per_sec']:.0f}, "
                 f"tolerated regression {max_regression:.0%})"

@@ -3,9 +3,11 @@
 from .aggregate import (
     AggregateRow,
     aggregate_jsonl,
+    aggregate_metrics,
     aggregate_rows,
     format_aggregates,
     load_jsonl,
+    metrics_row,
     write_jsonl,
 )
 from .report import (
@@ -30,6 +32,7 @@ __all__ = [
     "AggregateRow",
     "BreakdownRow",
     "aggregate_jsonl",
+    "aggregate_metrics",
     "aggregate_rows",
     "average_jct_speedup",
     "fairness_satisfaction",
@@ -41,6 +44,7 @@ __all__ = [
     "format_table",
     "geometric_mean",
     "load_jsonl",
+    "metrics_row",
     "write_jsonl",
     "jct_breakdown",
     "jct_speedup_by_category",

@@ -118,6 +118,43 @@ def aggregate_jsonl(path: str) -> Dict[Tuple[str, str], AggregateRow]:
     return aggregate_rows(load_jsonl(path))
 
 
+def metrics_row(scenario: str, policy: str, metrics) -> Dict:
+    """A minimal aggregation row built from one
+    :class:`~repro.sim.metrics.SimulationMetrics`.
+
+    In-memory twin of the sweep runner's JSONL rows: everything
+    :func:`aggregate_rows` consumes, nothing serialised.  Partial metrics
+    from a sharded run must be reduced first with
+    :meth:`~repro.sim.metrics.SimulationMetrics.merge` (the engine returns
+    them already merged; this matters only when aggregating shard-level
+    snapshots by hand).
+    """
+    return {
+        "scenario": scenario,
+        "policy": policy,
+        "job_jcts": sorted(metrics.job_jcts().values()),
+        "sla_attainment": metrics.sla_attainment(),
+        "error_rate": metrics.error_rate,
+        "completion_rate": metrics.completion_rate,
+        "total_aborts": metrics.total_aborts,
+    }
+
+
+def aggregate_metrics(
+    cells: Iterable[Tuple[str, str, object]],
+) -> Dict[Tuple[str, str], AggregateRow]:
+    """Aggregate in-memory ``(scenario, policy, SimulationMetrics)`` cells.
+
+    Replaces the JSONL round-trip for callers that already hold metrics
+    objects (e.g. a just-finished in-process sweep): the cells flow through
+    the same :func:`aggregate_rows` pooling as persisted artifacts, so both
+    paths produce identical summaries.
+    """
+    return aggregate_rows(
+        [metrics_row(scenario, policy, m) for scenario, policy, m in cells]
+    )
+
+
 def format_aggregates(
     aggregates: Mapping[Tuple[str, str], AggregateRow],
     title: str = "Sweep summary (per scenario x policy)",
@@ -158,8 +195,10 @@ def format_aggregates(
 __all__ = [
     "AggregateRow",
     "aggregate_jsonl",
+    "aggregate_metrics",
     "aggregate_rows",
     "format_aggregates",
     "load_jsonl",
+    "metrics_row",
     "write_jsonl",
 ]

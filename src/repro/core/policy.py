@@ -86,6 +86,25 @@ class SchedulingPolicy(abc.ABC):
         default implementation ignores it (deterministic policies).
         """
 
+    def bind_signature_provider(
+        self, provider, requirements: Iterable["EligibilityRequirement"]
+    ) -> None:
+        """Offer precomputed device eligibility signatures (optional).
+
+        The sharded engine precomputes every device's signature with respect
+        to the workload's full requirement set (one vectorised pass at shard
+        build time) and offers them here: ``provider(device_id)`` returns
+        the frozenset of requirement names of ``requirements`` the device
+        satisfies.  Policies that compute signatures themselves (Venn) can
+        derive their own — a restriction to the currently-live requirement
+        set — from the provided ones instead of re-evaluating predicates
+        per device; policies that never look at signatures ignore the call
+        (the default).
+
+        Implementations must treat the provider as an *optimisation only*:
+        decisions must be bit-identical with and without it.
+        """
+
 
 class SeededRngMixin:
     """Seed-ownership protocol shared by every policy that draws randomness.

@@ -205,6 +205,11 @@ class AtomSpace:
         return dict(self._requirements)
 
     @property
+    def requirement_names(self):
+        """The requirement-name set (a live view; cheap, no copy)."""
+        return self._requirements.keys()
+
+    @property
     def atoms(self) -> FrozenSet[AtomSignature]:
         """All known atom signatures (including the empty signature)."""
         return frozenset(self._atoms)

@@ -150,8 +150,23 @@ class VennScheduler(SeededRngMixin, BasePolicy):
         self._atom_space: Optional[AtomSpace] = None
         #: device_id -> cached atom signature (valid for the current space).
         self._signature_cache: Dict[int, "frozenset"] = {}
+        #: Optional engine-precomputed signatures (sharded engine): a
+        #: callable ``device_id -> full signature`` over ``_provider_reqs``.
+        self._sig_provider: Optional[Callable[[int], frozenset]] = None
+        self._provider_reqs: Optional[Dict[str, object]] = None
+        #: Whether the provider is usable for the *current* atom space (its
+        #: requirement objects match the live ones name-for-name).
+        self._provider_ok = False
+        #: full signature -> restricted live signature, per atom space.
+        self._restrict_memo: Dict[frozenset, frozenset] = {}
         self._plan: SchedulingPlan = SchedulingPlan()
         self._plan_dirty = True
+        #: Monotonic version of the decision surface: bumped whenever the
+        #: plan is brought up to date (full rebuild or incremental apply).
+        #: The sharded engine stamps this onto the assignment batches it
+        #: sends to device shards, so a (future, process-resident) shard can
+        #: tell which plan generation produced its work.
+        self.plan_version = 0
         self._matchers: Dict[int, TierMatcher] = {}
         #: Cached tier decision per open request id.
         self._tier_decisions: Dict[int, TierDecision] = {}
@@ -297,6 +312,31 @@ class VennScheduler(SeededRngMixin, BasePolicy):
     # ------------------------------------------------------------------ #
     # Plan construction
     # ------------------------------------------------------------------ #
+    def bind_signature_provider(self, provider, requirements) -> None:
+        """Accept engine-precomputed full signatures (see the base class).
+
+        The provider is only *used* while its requirement objects match the
+        live ones name-for-name (checked on every atom-space rebuild): a
+        signature over the full workload requirement set restricts exactly
+        to the live set by name, so ``provider``-derived signatures are
+        bit-identical to locally computed ones — the property the
+        sharded-engine identity tests pin.  Ambiguous names (two distinct
+        requirement objects sharing a name) disable the provider entirely.
+        """
+        reqs = list(requirements)
+        by_name: Optional[Dict[str, object]] = {}
+        for r in reqs:
+            existing = by_name.get(r.name)
+            if existing is not None and existing != r:
+                by_name = None  # ambiguous name: never trust restrictions
+                break
+            by_name[r.name] = r
+        self._sig_provider = provider
+        self._provider_reqs = by_name
+        # Force re-evaluation of provider compatibility for the next space.
+        self._provider_ok = False
+        self._restrict_memo = {}
+
     def _ensure_atom_space(self) -> AtomSpace:
         if self._atom_space is None:
             requirements = list(self.iter_requirements())
@@ -312,6 +352,17 @@ class VennScheduler(SeededRngMixin, BasePolicy):
                     name for name in sig if name in self._atom_space.requirements
                 }
                 self._atom_space.observe_signature(frozenset(known))
+            # A provider signature restricts correctly iff every live
+            # requirement *is* the provider's requirement of that name.
+            self._restrict_memo = {}
+            self._provider_ok = (
+                self._sig_provider is not None
+                and self._provider_reqs is not None
+                and all(
+                    self._provider_reqs.get(name) == req
+                    for name, req in self._atom_space._requirements.items()
+                )
+            )
         return self._atom_space
 
     def _signature_for(self, device: DeviceProfile):
@@ -329,7 +380,24 @@ class VennScheduler(SeededRngMixin, BasePolicy):
         # skips the space liveness check entirely.
         sig = self._signature_cache.get(device.device_id)
         if sig is None:
-            sig = self._ensure_atom_space().signature(device)
+            space = self._ensure_atom_space()
+            if self._provider_ok:
+                # Engine-precomputed full signature, restricted by name to
+                # the live requirement set (exact; see
+                # :meth:`bind_signature_provider`).  The restriction is
+                # memoised per distinct full signature, so after a
+                # requirement-set change re-deriving a million cached
+                # device signatures costs two dictionary hits each instead
+                # of a predicate walk.
+                full = self._sig_provider(device.device_id)
+                sig = self._restrict_memo.get(full)
+                if sig is None:
+                    names = space.requirement_names
+                    sig = frozenset(n for n in full if n in names)
+                    space.observe_signature(sig)
+                    self._restrict_memo[full] = sig
+            else:
+                sig = space.signature(device)
             self._signature_cache[device.device_id] = sig
         return sig
 
@@ -406,6 +474,7 @@ class VennScheduler(SeededRngMixin, BasePolicy):
         self._demand_dirty.clear()  # the fresh snapshot covers every job
         self._plan_dirty = False
         self.plan_rebuilds += 1
+        self.plan_version += 1
         self.plan_profile.full_rebuilds += 1
         self.plan_profile.full_rebuild_time_s += time.perf_counter() - t0
         return self._plan
@@ -469,6 +538,7 @@ class VennScheduler(SeededRngMixin, BasePolicy):
         )
         self._demand_dirty.clear()
         self._plan_dirty = False
+        self.plan_version += 1
         self.plan_profile.incremental_updates += 1
         self.plan_profile.incremental_time_s += time.perf_counter() - t0
         return plan
@@ -477,6 +547,23 @@ class VennScheduler(SeededRngMixin, BasePolicy):
     def plan(self) -> SchedulingPlan:
         """The current scheduling plan (may be stale if marked dirty)."""
         return self._plan
+
+    def plan_snapshot(self) -> Dict[str, object]:
+        """Broadcastable summary of the current decision surface.
+
+        The sharded engine attaches :attr:`plan_version` to the assignment
+        batches it sends device shards; this snapshot is the matching
+        payload a process-resident shard would receive on a version bump
+        (and what tests/tools use to compare plans across engines without
+        reaching into internals).
+        """
+        plan = self._plan
+        return {
+            "version": self.plan_version,
+            "dirty": self._plan_dirty,
+            "group_order": list(plan.group_order),
+            "job_order": {k: list(v) for k, v in sorted(plan.job_order.items())},
+        }
 
     # ------------------------------------------------------------------ #
     # Assignment

@@ -70,6 +70,11 @@ class ExperimentConfig:
     #: ``"full"`` (from-scratch rebuild on every trigger — the oracle).
     #: Forwarded to every ``venn*`` policy built for this experiment.
     plan_maintenance: str = "incremental"
+    #: Number of device shards of the simulation engine (1 = the in-process
+    #: single-queue engine; N > 1 = the coordinator/shard engine, with
+    #: decisions and metrics bit-identical for any value).  Forwarded to
+    #: ``SimulationConfig.num_shards``.
+    num_shards: int = 1
 
     def __post_init__(self) -> None:
         if self.num_devices <= 0 or self.num_jobs <= 0:
@@ -81,6 +86,8 @@ class ExperimentConfig:
                 "plan_maintenance must be 'incremental' or 'full', got "
                 f"{self.plan_maintenance!r}"
             )
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
         # Keep nested configs consistent with the top-level knobs.  The
         # simulation seed is re-derived from the root seed here, so every
         # ``replace``-based copy (``with_seed``, ``with_scenario``, ...)
@@ -88,7 +95,10 @@ class ExperimentConfig:
         self.workload = replace(self.workload, num_jobs=self.num_jobs)
         self.availability = replace(self.availability, horizon=self.horizon)
         self.simulation = replace(
-            self.simulation, horizon=self.horizon, seed=self.seed_for("simulation")
+            self.simulation,
+            horizon=self.horizon,
+            seed=self.seed_for("simulation"),
+            num_shards=self.num_shards,
         )
 
     # ------------------------------------------------------------------ #
@@ -136,6 +146,10 @@ class ExperimentConfig:
 
     def with_seed(self, seed: int) -> "ExperimentConfig":
         return replace(self, seed=seed)
+
+    def with_shards(self, num_shards: int) -> "ExperimentConfig":
+        """Copy of this config running on ``num_shards`` device shards."""
+        return replace(self, num_shards=num_shards)
 
 
 def _scaled_workload(

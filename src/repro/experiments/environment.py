@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Mapping, Optional, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from ..core.types import DeviceProfile
 from ..traces.capacity import CapacitySampler
@@ -36,12 +36,23 @@ def build_devices(config: ExperimentConfig) -> List[DeviceProfile]:
     return sampler.sample_devices(config.num_devices)
 
 
-def build_availability(config: ExperimentConfig) -> DeviceAvailabilityTrace:
-    """Generate the availability trace for the experiment's device ids."""
+def build_availability(
+    config: ExperimentConfig,
+    device_ids: Optional[Sequence[int]] = None,
+) -> DeviceAvailabilityTrace:
+    """Generate the availability trace for the experiment's device ids.
+
+    The availability model draws every device from its own
+    :class:`numpy.random.SeedSequence` child keyed by the *global device
+    id* (not by generation order), so ``device_ids`` can restrict the
+    build to any subset — e.g. one device shard — and the produced
+    sessions are bit-identical to that subset of the full-population
+    trace.  The property test in ``tests/traces`` pins this.
+    """
     model = DiurnalAvailabilityModel(
         config.availability, seed=config.seed_for("availability")
     )
-    return model.generate(config.num_devices)
+    return model.generate(config.num_devices, device_ids=device_ids)
 
 
 def build_workload(config: ExperimentConfig) -> Workload:

@@ -42,7 +42,12 @@ from typing import Dict, List, Optional, Sequence, TextIO, Tuple
 
 import numpy as np
 
-from ..analysis.aggregate import aggregate_rows, format_aggregates, write_jsonl
+from ..analysis.aggregate import (
+    aggregate_rows,
+    format_aggregates,
+    metrics_row,
+    write_jsonl,
+)
 from ..scenarios import get_scenario, scenario_names
 from ..sim.metrics import SimulationMetrics
 from .config import ExperimentConfig, get_config
@@ -147,29 +152,28 @@ def build_cell_environment(
 
 
 def _metrics_row(cell: SweepCell, metrics: SimulationMetrics, env: Environment) -> Dict:
+    # The aggregation-facing core of the row (scenario, policy, job_jcts,
+    # rate metrics, aborts) is built by the shared helper so the JSONL and
+    # in-memory aggregation paths can never drift apart; the sweep adds
+    # its cell provenance and the extra diagnostics on top.
+    row = metrics_row(cell.scenario, cell.policy, metrics)
     percentiles = metrics.jct_percentiles(ROW_PERCENTILES)
-    return {
+    row.update({
         "cell": cell.index,
-        "scenario": cell.scenario,
         "seed_index": cell.seed_index,
         "entropy": cell.entropy,
-        "policy": cell.policy,
         "num_devices": env.num_devices,
         "num_jobs": env.num_jobs,
         "average_jct": metrics.average_jct,
         "p50_jct": percentiles[50.0],
         "p99_jct": percentiles[99.0],
-        "completion_rate": metrics.completion_rate,
-        "sla_attainment": metrics.sla_attainment(),
-        "error_rate": metrics.error_rate,
         "average_scheduling_delay": metrics.average_scheduling_delay,
         "average_response_time": metrics.average_response_time,
-        "total_aborts": metrics.total_aborts,
         "total_checkins": metrics.total_checkins,
         "total_responses": metrics.total_responses,
         "total_failures": metrics.total_failures,
-        "job_jcts": sorted(metrics.job_jcts().values()),
-    }
+    })
+    return row
 
 
 def run_cell(cell: SweepCell, preset: str = "quick", smoke: bool = False) -> Dict:

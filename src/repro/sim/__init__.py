@@ -1,12 +1,13 @@
 """Event-driven collaborative-learning simulator substrate."""
 
 from .device import DeviceRuntime, DeviceStatus, SECONDS_PER_DAY
-from .dispatch import IdleDevicePool, PendingRequestPool
+from .dispatch import IdleDevicePool, PendingRequestPool, dispatch_pools
 from .engine import SimulationConfig, Simulator, run_simulation
 from .events import Event, EventQueue, EventType
 from .job import JobRuntime, RoundRecord
 from .latency import LatencyConfig, ResponseLatencyModel
 from .profile import PlanMaintenanceProfile
+from .shard import DeviceShard, build_shards, compute_signatures
 from .metrics import (
     JobMetrics,
     SimulationMetrics,
@@ -17,6 +18,7 @@ from .metrics import (
 
 __all__ = [
     "DeviceRuntime",
+    "DeviceShard",
     "DeviceStatus",
     "Event",
     "EventQueue",
@@ -33,7 +35,10 @@ __all__ = [
     "SimulationConfig",
     "SimulationMetrics",
     "Simulator",
+    "build_shards",
     "collect_job_metrics",
+    "compute_signatures",
+    "dispatch_pools",
     "per_job_speedups",
     "run_simulation",
     "speedup_over",

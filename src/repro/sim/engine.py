@@ -47,10 +47,37 @@ runs an indexed hot path sized for 10^5–10^6-device traces:
 offer devices to the policy in ascending device-id order and produce
 identical assignment sequences; the golden regression tests pin this.
 
-Randomness is drawn from one injected :class:`numpy.random.Generator`
-(seeded by ``SimulationConfig.seed``): the engine's latency model shares it,
-and the policy adopts it via ``bind_rng`` unless it was explicitly seeded —
-so one seed determines an entire run bit-for-bit.
+Coordinator/shard engine (multi-core single-scenario runs)
+----------------------------------------------------------
+
+``SimulationConfig(num_shards=N)`` with ``N > 1`` splits the engine into a
+coordinator (scheduler state, plan maintenance, request lifecycle, the
+global decision order) and N device shards (:mod:`repro.sim.shard`), each
+owning a partition of device physics: availability event streams as sorted
+arrays, response queues, idle pools with daily-budget parking, precomputed
+eligibility signatures and per-shard metrics counters.  Events merge by
+``(time, seq)`` with the exact sequence enumeration of the single-queue
+engine, so **decisions and metrics are bit-identical for any shard count**
+— enforced by twin-run property tests, the golden fixtures and the
+benchmark's decision/metrics hashes.  See ``docs/ARCHITECTURE.md`` for the
+message protocol and the determinism contract.
+
+Randomness splits in two: device latency/failure draws come from
+per-device counter-based streams keyed by ``(SimulationConfig.seed,
+device_id, draw index)`` — so no draw depends on the order other devices
+drew in, the property that makes runs shard-layout-free — while the
+engine's policy-facing :class:`numpy.random.Generator` (also seeded by
+``SimulationConfig.seed``) is adopted via ``bind_rng`` by any policy that
+was not explicitly seeded.  One seed still determines an entire run
+bit-for-bit.
+
+Policies are only consulted while some request has unmet demand: with
+nothing pending, every shipped policy provably returns ``None`` (they all
+filter on ``remaining_demand > 0`` before drawing randomness), and a dirty
+scheduling plan is refreshed at the next demand-creating trigger anyway,
+so the engine skips the dead ``assign`` calls that previously dominated
+the long collection phases of large rounds.  Custom policies must not rely
+on being offered devices while they have no unmet demand.
 
 Policies that maintain a scheduling plan (Venn) expose a
 :class:`~repro.sim.profile.PlanMaintenanceProfile`; the engine snapshots it
@@ -61,6 +88,8 @@ the plan-maintenance time share without reaching into the policy.
 
 from __future__ import annotations
 
+import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
@@ -72,11 +101,18 @@ from ..core.types import DeviceProfile, JobSpec, ResourceRequest
 from ..traces.device_trace import DeviceAvailabilityTrace
 from ..traces.workloads import Workload
 from .device import DeviceRuntime, DeviceStatus
-from .dispatch import IdleDevicePool, PendingRequestPool
+from .dispatch import IdleDevicePool, PendingRequestPool, dispatch_pools
 from .events import Event, EventQueue, EventType
 from .job import JobRuntime
 from .latency import LatencyConfig, ResponseLatencyModel
 from .metrics import SimulationMetrics, collect_job_metrics
+from .shard import (
+    INF_KEY,
+    KIND_CHECKIN,
+    DeviceShard,
+    build_shards,
+    compute_signatures,
+)
 
 
 @dataclass
@@ -99,12 +135,45 @@ class SimulationConfig:
     #: pool, signature-bucketed idle pool).  ``False`` restores the seed's
     #: linear scans; scheduling decisions are identical either way.
     indexed_dispatch: bool = True
+    #: Number of device shards.  ``1`` (the default) runs the in-process
+    #: single-queue engine; ``N > 1`` runs the coordinator/shard engine of
+    #: :mod:`repro.sim.shard` — device physics partitioned across N shards,
+    #: decisions still made centrally, and **bit-identical decisions and
+    #: metrics for any shard count** (enforced by the shard-identity tests
+    #: and the benchmark's decision hash).
+    num_shards: int = 1
+    #: Force the sharded engine on (``True``) or off (``False``) regardless
+    #: of ``num_shards``; ``None`` selects it automatically when
+    #: ``num_shards > 1``.  Mainly for tests that exercise the sharded path
+    #: with a single shard.
+    sharded_dispatch: Optional[bool] = None
+    #: Process-pool workers for the per-shard stream builds (0/1 = inline).
+    #: Worth enabling on multi-core hosts; on a single core the workers are
+    #: pure overhead, hence the conservative default.
+    shard_build_workers: int = 0
+    #: Record per-shard drain wall time (adds two clock reads per drained
+    #: batch; used by ``examples/sharded_scale.py`` for the time split).
+    profile_shards: bool = False
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
             raise ValueError("horizon must be positive")
         if self.max_events <= 0:
             raise ValueError("max_events must be positive")
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.use_sharded_engine and not self.indexed_dispatch:
+            raise ValueError(
+                "the sharded engine subsumes the indexed fast path; "
+                "indexed_dispatch=False is only meaningful with num_shards=1"
+            )
+
+    @property
+    def use_sharded_engine(self) -> bool:
+        """Whether runs use the coordinator/shard engine."""
+        if self.sharded_dispatch is not None:
+            return bool(self.sharded_dispatch)
+        return self.num_shards > 1
 
 
 class Simulator:
@@ -121,10 +190,23 @@ class Simulator:
     ) -> None:
         self.config = config or SimulationConfig()
         self.policy = policy
-        #: The run's single random generator; the latency model draws from it
-        #: directly and unseeded policies adopt it via ``bind_rng``.
+        #: The run's policy-facing random generator; unseeded policies adopt
+        #: it via ``bind_rng``.  The latency model no longer shares it: it
+        #: draws from per-device streams keyed by global device id, so a
+        #: device's latency/failure draws depend only on the seed, its id
+        #: and its own assignment history — never on the draw order across
+        #: devices.  That is what keeps runs bit-identical for any shard
+        #: count (and it also makes the single-queue engine's draws
+        #: independent of unrelated devices).
         self.rng = np.random.default_rng(self.config.seed)
-        self.latency = ResponseLatencyModel(self.config.latency, rng=self.rng)
+        # Normalising through a SeedSequence keeps per-device streams on
+        # even for seed=None (a random-entropy run is still internally
+        # shard-layout-independent; None would fall back to the shared,
+        # order-dependent regime).
+        self.latency = ResponseLatencyModel(
+            self.config.latency,
+            per_device_entropy=np.random.SeedSequence(self.config.seed).entropy,
+        )
         self.policy.bind_rng(self.rng)
 
         if isinstance(workload, Workload):
@@ -136,8 +218,9 @@ class Simulator:
         for job in jobs:
             self._categories.setdefault(job.job_id, job.requirement.name)
 
+        self._device_profiles: List[DeviceProfile] = list(devices)
         self.devices: Dict[int, DeviceRuntime] = {
-            d.device_id: DeviceRuntime(profile=d) for d in devices
+            d.device_id: DeviceRuntime(profile=d) for d in self._device_profiles
         }
         missing = {
             s.device_id for s in availability.sessions
@@ -166,6 +249,16 @@ class Simulator:
         self._indexed = bool(self.config.indexed_dispatch)
         self._pending = PendingRequestPool()
         self._idle_pool = IdleDevicePool()
+        #: Coordinator/shard engine state (built lazily in ``run`` so shard
+        #: construction is part of the measured run, like the legacy
+        #: engine's initial event scheduling).
+        self._sharded = bool(self.config.use_sharded_engine)
+        self._num_shards = int(self.config.num_shards)
+        self._shards: List["DeviceShard"] = []
+        #: Shards whose queues the coordinator touched since their head key
+        #: was last cached (assignment messages land mid-decision).
+        self._dirty_shards: set = set()
+        self._policy_has_plan_version = hasattr(policy, "plan_version")
         # The engine's own signature space: the workload's full requirement
         # set is known up front, so each device's eligibility signature is
         # computed once (lazily, at first check-in) and cached forever.
@@ -208,6 +301,8 @@ class Simulator:
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationMetrics:
         """Run the simulation to the horizon and return aggregate metrics."""
+        if self._sharded:
+            return self._run_sharded()
         self._schedule_initial_events()
         handlers = {
             EventType.JOB_ARRIVAL: self._on_job_arrival,
@@ -251,6 +346,266 @@ class Simulator:
         """Number of events handled so far (exposed for benchmarks)."""
         return self._events_processed
 
+    # ------------------------------------------------------------------ #
+    # Coordinator/shard engine
+    # ------------------------------------------------------------------ #
+    def _setup_sharded(self) -> None:
+        """Build the device shards and seed the coordinator queue.
+
+        Job arrivals claim sequence numbers ``0..J-1`` exactly like the
+        single-queue engine's initial pushes; the shard streams then claim
+        two numbers per availability session (assigned in global
+        session-sort order at build time), and the coordinator counter is
+        advanced past them so every later dynamic event — response,
+        deadline — sorts identically to its single-queue twin.
+        """
+        arrivals = 0
+        for job in self.jobs.values():
+            if job.spec.arrival_time <= self.config.horizon:
+                self.queue.push(
+                    job.spec.arrival_time, EventType.JOB_ARRIVAL, job_id=job.job_id
+                )
+                arrivals += 1
+        self._shards, consumed = build_shards(
+            self._device_profiles,
+            self.devices,
+            self.availability,
+            self._num_shards,
+            self.config.horizon,
+            seq_start=arrivals,
+            policy_name=self._metrics.policy,
+            workers=self.config.shard_build_workers,
+        )
+        self.queue.reserve(consumed)
+        # Shard-side signature precompute: one vectorised pass instead of a
+        # per-device predicate walk at first check-in, shared with the
+        # policy through the signature-provider protocol.
+        self._device_signatures = compute_signatures(
+            self._device_profiles, self._requirements
+        )
+        self.policy.bind_signature_provider(
+            self._device_signatures.__getitem__, tuple(self._requirements)
+        )
+
+    def _run_sharded(self) -> SimulationMetrics:
+        """Main loop of the coordinator: merge shard streams + own queue.
+
+        Events are processed in ascending ``(time, seq)`` order across all
+        sources — the exact order the single-queue engine processes them.
+        Runs of consecutive static device events from one shard are drained
+        as a batch (one head re-scan per run instead of per event); response
+        events and coordinator events go through the per-event path because
+        they can reschedule work on any source.
+        """
+        self._setup_sharded()
+        horizon = self.config.horizon
+        queue = self.queue
+        shards = self._shards
+        num_shards = len(shards)
+        profile_shards = self.config.profile_shards
+        heads = [sh.head_key() for sh in shards]
+        dirty = self._dirty_shards
+        q_key = queue.peek_key() or INF_KEY
+        while True:
+            best = q_key
+            best_i = -1
+            for i in range(num_shards):
+                h = heads[i]
+                if h < best:
+                    best = h
+                    best_i = i
+            if best[0] > horizon:
+                break
+            if best_i < 0:
+                # Coordinator event: job arrival or request deadline.
+                event = queue.pop()
+                if event is None:  # pragma: no cover - peek_key guards this
+                    break
+                self.now = event.time
+                if event.type is EventType.JOB_ARRIVAL:
+                    self._on_job_arrival(event)
+                else:
+                    self._on_request_deadline(event)
+                self._events_processed += 1
+                if self._events_processed >= self.config.max_events:
+                    raise RuntimeError(
+                        "simulation exceeded max_events; check for livelock "
+                        "or raise SimulationConfig.max_events"
+                    )
+                q_key = queue.peek_key() or INF_KEY
+                for i in dirty:
+                    heads[i] = shards[i].head_key()
+                dirty.clear()
+                if self._unfinished_jobs == 0:
+                    break
+                continue
+            shard = shards[best_i]
+            if shard.heap and shard.heap[0][:2] == best:
+                # Dynamic shard event: a device response.
+                t, _seq, device_id, request_id, _job_id, success = heapq.heappop(
+                    shard.heap
+                )
+                self.now = t
+                self._handle_shard_response(shard, device_id, request_id, success)
+                self._events_processed += 1
+                shard.events_processed += 1
+                if self._events_processed >= self.config.max_events:
+                    raise RuntimeError(
+                        "simulation exceeded max_events; check for livelock "
+                        "or raise SimulationConfig.max_events"
+                    )
+                q_key = queue.peek_key() or INF_KEY
+                dirty.add(best_i)
+                for i in dirty:
+                    heads[i] = shards[i].head_key()
+                dirty.clear()
+                if self._unfinished_jobs == 0:
+                    break
+                continue
+            # Static run: drain this shard's check-in/checkout batch up to
+            # the next event of any other source.
+            limit = q_key
+            for i in range(num_shards):
+                if i != best_i and heads[i] < limit:
+                    limit = heads[i]
+            if profile_shards:
+                t0 = time.perf_counter()
+                self._drain_shard(shard, limit, horizon)
+                shard.drain_time_s += time.perf_counter() - t0
+            else:
+                self._drain_shard(shard, limit, horizon)
+            heads[best_i] = shard.head_key()
+            dirty.discard(best_i)
+        self._finalise()
+        return self._metrics
+
+    def _drain_shard(
+        self, shard: DeviceShard, limit: tuple, horizon: float
+    ) -> None:
+        """Process ``shard``'s static events while they stay globally next.
+
+        The batch ends at ``limit`` (the next event of any *other* source),
+        at the horizon, or as soon as one of the shard's own response
+        events becomes due (responses go through the per-event path).
+        Static device events mutate only shard-resident state — device
+        runtimes, the shard's idle pool, its metrics counters — plus the
+        coordinator's supply estimator and, when demand is pending, one
+        assignment decision for the checking-in device itself; none of that
+        can make another source's next event earlier, which is what makes
+        the batch safe.
+        """
+        times = shard.st_time
+        seqs = shard.st_seq
+        devs = shard.st_dev
+        sends = shard.st_send
+        kinds = shard.st_kind
+        cursor = shard.cursor
+        length = shard.st_len
+        heap = shard.heap
+        runtimes = shard.runtimes
+        pool = shard.pool
+        metrics = shard.metrics
+        signatures = self._device_signatures
+        policy_checkin = self.policy.on_device_checkin
+        pending = self._pending
+        enforce_daily = self.config.enforce_daily_limit
+        limit_t, limit_s = limit
+        busy = DeviceStatus.BUSY
+        kind_checkin = KIND_CHECKIN
+        budget = self.config.max_events - self._events_processed
+        processed = 0
+        while cursor < length:
+            t = times[cursor]
+            seq = seqs[cursor]
+            if t > limit_t or (t == limit_t and seq > limit_s) or t > horizon:
+                break
+            if heap:
+                head = heap[0]
+                if head[0] < t or (head[0] == t and head[1] < seq):
+                    break  # a response of this shard is due first
+            device_id = devs[cursor]
+            session_end = sends[cursor]
+            kind = kinds[cursor]
+            cursor += 1
+            self.now = t
+            device = runtimes[device_id]
+            if kind == kind_checkin:
+                if device.status is busy:
+                    # The previous task overran into this session; treat the
+                    # new session as extending the device's online window.
+                    if session_end > device.session_end:
+                        device.session_end = session_end
+                else:
+                    device.check_in(t, session_end)
+                    signature = signatures[device_id]
+                    if enforce_daily and device.participated_today(t):
+                        pool.park(
+                            device_id, signature,
+                            device.last_participation_day + 1,
+                        )
+                    else:
+                        pool.add(device_id, signature)
+                    metrics.total_checkins += 1
+                    policy_checkin(device.profile, t)
+                    if pending and device.can_take_task(t, enforce_daily):
+                        self._try_assign(device)
+            else:  # checkout
+                if device.status is not busy:
+                    if device.is_online and device.session_end <= session_end:
+                        device.check_out()
+                        pool.discard(device_id)
+            processed += 1
+            if processed >= budget:
+                shard.cursor = cursor
+                shard.events_processed += processed
+                self._events_processed += processed
+                raise RuntimeError(
+                    "simulation exceeded max_events; check for livelock or "
+                    "raise SimulationConfig.max_events"
+                )
+        shard.cursor = cursor
+        shard.events_processed += processed
+        self._events_processed += processed
+
+    def _handle_shard_response(
+        self, shard: DeviceShard, device_id: int, request_id: int, success: bool
+    ) -> None:
+        """Sharded twin of :meth:`_on_device_response` (same semantics,
+        shard-resident pools and counters)."""
+        device = shard.runtimes[device_id]
+        request = self._requests.get(request_id)
+        device.finish_task(self.now, success)
+        if device.is_idle:
+            self._note_idle(device)
+        else:
+            self._note_not_idle(device_id)
+        if success:
+            shard.metrics.total_responses += 1
+        else:
+            shard.metrics.total_failures += 1
+
+        if success and request is not None and request.is_open:
+            request.record_response(device_id, self.now)
+            self.policy.on_response(request, device.profile, self.now)
+            self._maybe_complete_request(request)
+        elif request is not None and not request.is_open:
+            # The round was aborted (or cancelled) while this device was
+            # still computing; its work is discarded, so it keeps its daily
+            # budget.
+            self._refund_daily_budget(device)
+
+        # A freed device may immediately serve another job (when the daily
+        # limit permits and somebody actually wants devices).
+        if (
+            self._pending
+            and device.can_take_task(self.now, self.config.enforce_daily_limit)
+        ):
+            self._try_assign(device)
+
+    def shard_stats(self) -> List[Dict[str, object]]:
+        """Per-shard event/message counters (sharded runs only)."""
+        return [shard.stats() for shard in self._shards]
+
     def _finalise(self) -> None:
         horizon = self.config.horizon
         for job in self.jobs.values():
@@ -264,6 +619,10 @@ class Simulator:
         profile = getattr(self.policy, "plan_profile", None)
         if profile is not None:
             self._metrics.plan_maintenance = profile.as_dict()
+        # Sharded runs: fold the per-shard counter metrics into the
+        # coordinator's job-level metrics through the exact reduction.
+        for shard in self._shards:
+            self._metrics = self._metrics.merge(shard.metrics)
 
     # ------------------------------------------------------------------ #
     # Idle-device bookkeeping
@@ -277,6 +636,16 @@ class Simulator:
 
     def _note_idle(self, device: DeviceRuntime) -> None:
         """Device became idle: track it, parking daily-spent devices."""
+        if self._sharded:
+            pool = self._shards[device.device_id % self._num_shards].pool
+            sig = self._device_signatures[device.device_id]
+            if self.config.enforce_daily_limit and device.participated_today(
+                self.now
+            ):
+                pool.park(device.device_id, sig, device.last_participation_day + 1)
+            else:
+                pool.add(device.device_id, sig)
+            return
         self._idle_devices.add(device.device_id)
         if not self._indexed:
             return
@@ -289,6 +658,9 @@ class Simulator:
             self._idle_pool.add(device.device_id, sig)
 
     def _note_not_idle(self, device_id: int) -> None:
+        if self._sharded:
+            self._shards[device_id % self._num_shards].pool.discard(device_id)
+            return
         self._idle_devices.discard(device_id)
         if self._indexed:
             self._idle_pool.discard(device_id)
@@ -296,6 +668,13 @@ class Simulator:
     def _refund_daily_budget(self, device: DeviceRuntime) -> None:
         """The device's round was discarded; it keeps its daily budget."""
         device.last_participation_day = None
+        if self._sharded:
+            pool = self._shards[device.device_id % self._num_shards].pool
+            if device.is_idle:
+                pool.unpark(device.device_id)
+            else:
+                pool.discard(device.device_id)
+            return
         if not self._indexed:
             return
         if device.is_idle:
@@ -324,7 +703,16 @@ class Simulator:
         self._note_idle(device)
         self._metrics.total_checkins += 1
         self.policy.on_device_checkin(device.profile, self.now)
-        if device.can_take_task(self.now, self.config.enforce_daily_limit):
+        # Only consult the policy when some request actually has unmet
+        # demand: with no pending demand every shipped policy provably
+        # returns None (they filter on remaining_demand > 0 before drawing
+        # any randomness), and a dirty scheduling plan is refreshed at the
+        # next demand-creating trigger anyway — so skipping the call cannot
+        # change a decision, it only avoids dead work during the long
+        # collection phases of large rounds.
+        if self._has_unsatisfied_request() and device.can_take_task(
+            self.now, self.config.enforce_daily_limit
+        ):
             self._try_assign(device)
 
     def _on_device_checkout(self, event: Event) -> None:
@@ -360,8 +748,11 @@ class Simulator:
             self._refund_daily_budget(device)
 
         # A freed device may immediately serve another job (when the daily
-        # limit permits).
-        if device.can_take_task(self.now, self.config.enforce_daily_limit):
+        # limit permits and some request has unmet demand — see the
+        # matching guard in ``_on_device_checkin``).
+        if self._has_unsatisfied_request() and device.can_take_task(
+            self.now, self.config.enforce_daily_limit
+        ):
             self._try_assign(device)
 
     def _on_request_deadline(self, event: Event) -> None:
@@ -471,14 +862,35 @@ class Simulator:
             # A dropout is detected either when the task would have finished
             # or when the device goes offline, whichever comes first.
             finish_time = min(self.now + duration, max(device.session_end, self.now))
-        self.queue.push(
-            finish_time,
-            EventType.DEVICE_RESPONSE,
-            device_id=device.device_id,
-            request_id=request.request_id,
-            job_id=job.job_id,
-            success=success,
-        )
+        if self._sharded:
+            # Coordinator→shard assignment message: the owning shard queues
+            # the response.  The sequence number comes from the coordinator
+            # counter, so the response sorts exactly where the single-queue
+            # engine's push would have placed it.
+            shard_index = device.device_id % self._num_shards
+            self._shards[shard_index].schedule_response(
+                finish_time,
+                self.queue.next_seq(),
+                device.device_id,
+                request.request_id,
+                job.job_id,
+                success,
+                plan_version=(
+                    self.policy.plan_version
+                    if self._policy_has_plan_version
+                    else None
+                ),
+            )
+            self._dirty_shards.add(shard_index)
+        else:
+            self.queue.push(
+                finish_time,
+                EventType.DEVICE_RESPONSE,
+                device_id=device.device_id,
+                request_id=request.request_id,
+                job_id=job.job_id,
+                success=success,
+            )
 
     def _dispatch_idle_devices(self) -> None:
         """Offer idle online devices to the policy while demand remains.
@@ -489,6 +901,24 @@ class Simulator:
         the legacy full scan.
         """
         if not self._has_unsatisfied_request():
+            return
+        if self._sharded:
+            cfg_daily = self.config.enforce_daily_limit
+            devices = self.devices
+
+            def visit(device_id: int) -> None:
+                device = devices[device_id]
+                if device.can_take_task(self.now, cfg_daily):
+                    self._try_assign(device)
+
+            # k-way merge across the shard-resident pools: globally
+            # ascending device-id order, exactly like one union pool.
+            dispatch_pools(
+                [shard.pool for shard in self._shards],
+                self._pending,
+                self.now,
+                visit,
+            )
             return
         if self._indexed:
             cfg_daily = self.config.enforce_daily_limit

@@ -116,6 +116,35 @@ class EventQueue:
         self._size += 1
         return event
 
+    def next_seq(self) -> int:
+        """Claim the next sequence number without scheduling an event.
+
+        The sharded engine uses this to stamp response events it hands to a
+        device shard's queue: the number comes from the *same* counter as
+        :meth:`push`, so dynamic events sort identically whether they live
+        in this queue or in a shard's.
+        """
+        return next(self._counter)
+
+    def reserve(self, count: int) -> None:
+        """Skip ``count`` sequence numbers.
+
+        The sharded engine reserves the numbers its static shard streams
+        carry (two per availability session, assigned at build time) so the
+        counter continues exactly where the single-queue engine's would.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count:
+            self._counter = itertools.count(next(self._counter) + count)
+
+    def peek_key(self) -> Optional[tuple]:
+        """``(time, seq)`` of the next non-cancelled event, or ``None``."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+            self._size -= 1
+        return self._heap[0][:2] if self._heap else None
+
     def pop(self) -> Optional[Event]:
         """Pop the earliest non-cancelled event, or ``None`` when empty."""
         while self._heap:

@@ -10,16 +10,63 @@ where ``speed_factor`` comes from the capacity trace (slower hardware → larger
 factor) and the communication term models upload/download of model weights.
 Failures combine the device's intrinsic reliability with going offline before
 the task finishes (the engine checks the latter against the session end).
+
+Per-device randomness
+---------------------
+
+The model supports two seeding regimes:
+
+* a single **shared** generator (``rng=...`` / ``seed=...``), the historical
+  behaviour, where the k-th draw of a run depends on every draw before it;
+* **per-device streams** (``per_device_entropy=...``), where draw ``j`` of
+  device ``d`` is a pure function of ``(master entropy, d, j)``.
+
+Per-device streams make a device's latency/failure draws a function of the
+device and its own assignment history only — the draw *order across devices*
+no longer matters.  That property is what lets the sharded simulation engine
+(:mod:`repro.sim.shard`) hand device physics to shards while staying
+bit-identical to the single-queue engine for any shard count, and it is the
+engine's default since the coordinator/shard refactor.
+
+Per-device streams are generated *counter-based* (a SplitMix64 keyed by
+``(master, device_id, draw index)``, normals via Box–Muller) rather than by
+spawning one ``numpy`` generator per device: constructing a
+``Generator(PCG64(SeedSequence(entropy, spawn_key=(device_id,))))`` costs
+~15 µs, and under the one-job-per-day constraint nearly every assignment
+lands on a *distinct* device, so per-device generator objects would add
+~10 s to a million-device day — per-draw key hashing costs ~2 µs with no
+per-device state beyond a draw counter.  The master entropy is still
+derived through :class:`numpy.random.SeedSequence`, so a config seed keys
+the whole family the same way the rest of the repo derives streams.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from ..core.types import DeviceProfile, JobSpec
+
+_MASK64 = (1 << 64) - 1
+#: Odd constants of the SplitMix64 finalizer (Steele et al.) and two
+#: independent stream-separation multipliers.
+_SM_GAMMA = 0x9E3779B97F4A7C15
+_SM_MUL1 = 0xBF58476D1CE4E5B9
+_SM_MUL2 = 0x94D049BB133111EB
+_DEVICE_STRIDE = 0xD1342543DE82EF95
+_TWO_PI = 2.0 * math.pi
+#: 2^64 as a float, for mapping hashes into (0, 1).
+_INV_2_64 = 1.0 / float(1 << 64)
+
+
+def _mix64(z: int) -> int:
+    """SplitMix64 finalizer: avalanching 64-bit int -> 64-bit int."""
+    z = ((z ^ (z >> 30)) * _SM_MUL1) & _MASK64
+    z = ((z ^ (z >> 27)) * _SM_MUL2) & _MASK64
+    return z ^ (z >> 31)
 
 
 @dataclass
@@ -52,26 +99,86 @@ class ResponseLatencyModel:
         config: Optional[LatencyConfig] = None,
         seed: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        per_device_entropy: Optional[Union[int, tuple]] = None,
     ) -> None:
-        """``rng`` (an injected generator, e.g. the engine's single run
+        """``per_device_entropy`` switches the model to per-device streams
+        keyed by global device id (see the module docstring); otherwise
+        ``rng`` (an injected generator, e.g. the engine's single run
         generator) takes precedence over ``seed``."""
         self.config = config or LatencyConfig()
-        self._rng = rng if rng is not None else np.random.default_rng(seed)
+        self._per_device = per_device_entropy is not None
+        if self._per_device:
+            # Normalise whatever the caller passed (int seed, tuple, None)
+            # through a SeedSequence, then collapse to the 64-bit master key
+            # of the counter-based per-device streams.
+            self._entropy = np.random.SeedSequence(per_device_entropy).entropy
+            self._master = int(
+                np.random.SeedSequence(self._entropy).generate_state(
+                    1, np.uint64
+                )[0]
+            )
+            #: device_id -> number of uniforms consumed so far.
+            self._draw_counts: Dict[int, int] = {}
+            self._rng = None
+        else:
+            self._rng = rng if rng is not None else np.random.default_rng(seed)
+
+    @property
+    def per_device(self) -> bool:
+        """Whether draws come from per-device streams (shard-order free)."""
+        return self._per_device
+
+    def _uniform(self, device_id: int, index: int) -> float:
+        """Uniform (0, 1) draw ``index`` of ``device_id``'s stream."""
+        h = _mix64(
+            (
+                self._master
+                + device_id * _DEVICE_STRIDE
+                + index * _SM_GAMMA
+            )
+            & _MASK64
+        )
+        # (h + 1) / 2^64 lies in (0, 1]; flipping to 1 - u gives [0, 1) —
+        # either way the endpoints 0.0/1.0-excluded where log() needs it.
+        return (h + 1) * _INV_2_64
 
     def sample_duration(self, job: JobSpec, device: DeviceProfile) -> float:
         """Response time (seconds) for ``device`` executing one round of ``job``."""
         cfg = self.config
+        if self._per_device:
+            device_id = device.device_id
+            k = self._draw_counts.get(device_id, 0)
+            self._draw_counts[device_id] = k + 3
+            u1 = self._uniform(device_id, k)
+            u2 = self._uniform(device_id, k + 1)
+            u3 = self._uniform(device_id, k + 2)
+            # Box–Muller: exact standard normal from two uniforms.
+            z = math.sqrt(-2.0 * math.log(u1)) * math.cos(_TWO_PI * u2)
+            compute = (
+                job.base_task_duration
+                * cfg.duration_scale
+                * device.speed_factor
+                * math.exp(cfg.compute_sigma * z)
+            )
+            comm = cfg.comm_min + (cfg.comm_max - cfg.comm_min) * u3
+            return compute + comm
+        rng = self._rng
         compute = (
             job.base_task_duration
             * cfg.duration_scale
             * device.speed_factor
-            * float(np.exp(self._rng.normal(0.0, cfg.compute_sigma)))
+            * float(np.exp(rng.normal(0.0, cfg.compute_sigma)))
         )
-        comm = float(self._rng.uniform(cfg.comm_min, cfg.comm_max))
+        comm = float(rng.uniform(cfg.comm_min, cfg.comm_max))
         return compute + comm
 
     def sample_failure(self, device: DeviceProfile) -> bool:
         """Whether the device drops out instead of reporting back."""
+        if self._per_device:
+            device_id = device.device_id
+            k = self._draw_counts.get(device_id, 0)
+            self._draw_counts[device_id] = k + 1
+            return self._uniform(device_id, k) > device.reliability
         return bool(self._rng.random() > device.reliability)
 
     def expected_duration(self, job: JobSpec, device: DeviceProfile) -> float:

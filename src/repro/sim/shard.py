@@ -1,0 +1,341 @@
+"""Device shards: the device-physics half of the sharded simulation engine.
+
+The monolithic engine kept every device's availability events in one global
+heap and computed device eligibility signatures one at a time on the hot
+path.  The sharded engine (``SimulationConfig(num_shards=N)``) splits that
+work across N :class:`DeviceShard` objects, each owning a partition of the
+device population (``device_id % num_shards == shard_index``):
+
+* the shard's **static event stream** — every check-in / checkout of its
+  devices over the horizon — is built once as sorted parallel arrays
+  instead of millions of heap pushes;
+* the shard's **dynamic queue** holds the response events of its devices
+  (scheduled by the coordinator when it assigns one of the shard's devices);
+* the shard's **idle pool** (:class:`~repro.sim.dispatch.IdleDevicePool`)
+  tracks which of its devices are dispatchable, including daily-budget
+  parking;
+* the shard's **eligibility signatures** are precomputed for the workload's
+  requirement set in one vectorised pass (:func:`compute_signatures`).
+
+The coordinator (the engine) merges the shard streams deterministically by
+``(time, seq)`` — see :data:`make_static_stream` for how ``seq`` is chosen —
+and exchanges batched messages with the shards: shard→coordinator batches of
+check-in/checkout/response records (the engine drains them in runs), and
+coordinator→shard assignment messages (:meth:`DeviceShard.schedule_response`)
+carrying the scheduler's current plan version.
+
+Determinism contract
+--------------------
+
+Static events carry the exact sequence numbers the single-queue engine would
+have assigned them (job arrivals take ``0..J-1``, then session *i* of the
+globally-sorted session list takes ``J + 2i`` for its check-in and
+``J + 2i + 1`` for its checkout).  Dynamic events take coordinator-issued
+sequence numbers from the same counter.  Merging shard streams by
+``(time, seq)`` therefore reproduces the legacy engine's processing order
+*exactly*, for any shard count — the property the shard-identity tests and
+the benchmark's decision hash enforce.
+
+Shard builds are embarrassingly parallel (each shard touches only its own
+sessions and devices); :func:`build_shards` fans the per-shard array
+construction out to a process pool when ``workers > 1`` and falls back to
+inline construction otherwise (e.g. single-core hosts, where worker
+processes are pure overhead).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.requirements import EligibilityRequirement, signature_of
+from ..core.types import DeviceProfile
+from .device import DeviceRuntime
+from .dispatch import IdleDevicePool
+from .metrics import SimulationMetrics
+
+#: Static-stream event kinds (dynamic responses live in the shard heap).
+KIND_CHECKIN = 0
+KIND_CHECKOUT = 1
+
+#: Sentinel key sorting after every real event.
+INF_KEY: Tuple[float, int] = (float("inf"), 1 << 62)
+
+
+def shard_of(device_id: int, num_shards: int) -> int:
+    """The shard owning ``device_id`` (fixed modulo partition)."""
+    return device_id % num_shards
+
+
+def compute_signatures(
+    devices: Sequence[DeviceProfile],
+    requirements: Sequence[EligibilityRequirement],
+) -> Dict[int, FrozenSet[str]]:
+    """Eligibility signature of every device, vectorised when possible.
+
+    Produces exactly what :func:`repro.core.requirements.signature_of`
+    would per device, but in a handful of numpy passes over the population
+    instead of ``len(devices) × len(requirements)`` predicate calls: one
+    boolean mask per requirement over (cpu, memory, domain) arrays, packed
+    into per-device bitmasks, then interned into shared frozensets.
+
+    Subclassed requirements (anything overriding ``is_eligible``) fall back
+    to the exact per-device loop.
+    """
+    reqs = list(requirements)
+    if not reqs:
+        empty = frozenset()
+        return {d.device_id: empty for d in devices}
+    if len(reqs) > 63 or any(
+        type(r) is not EligibilityRequirement for r in reqs
+    ):
+        # The vectorised path packs one requirement per int64 bit; beyond
+        # 63 the shift overflows silently.  Workloads that large fall back
+        # to the exact per-device walk.
+        return {d.device_id: signature_of(d, reqs) for d in devices}
+    n = len(devices)
+    cpu = np.fromiter((d.cpu_score for d in devices), dtype=np.float64, count=n)
+    mem = np.fromiter(
+        (d.memory_score for d in devices), dtype=np.float64, count=n
+    )
+    domain_masks: Dict[str, np.ndarray] = {}
+    for r in reqs:
+        if r.data_domain is not None and r.data_domain not in domain_masks:
+            dom = r.data_domain
+            domain_masks[dom] = np.fromiter(
+                (dom in d.data_domains for d in devices), dtype=bool, count=n
+            )
+    bits = np.zeros(n, dtype=np.int64)
+    for k, r in enumerate(reqs):
+        ok = (cpu >= r.min_cpu) & (mem >= r.min_memory)
+        if r.data_domain is not None:
+            ok = ok & domain_masks[r.data_domain]
+        bits |= ok.astype(np.int64) << k
+    # Intern: devices overwhelmingly share a handful of distinct signatures.
+    table: Dict[int, FrozenSet[str]] = {}
+    out: Dict[int, FrozenSet[str]] = {}
+    mask_list = bits.tolist()
+    for device, mask in zip(devices, mask_list):
+        sig = table.get(mask)
+        if sig is None:
+            sig = frozenset(
+                reqs[k].name for k in range(len(reqs)) if (mask >> k) & 1
+            )
+            table[mask] = sig
+        out[device.device_id] = sig
+    return out
+
+
+def make_static_stream(
+    starts: np.ndarray,
+    device_ids: np.ndarray,
+    ends: np.ndarray,
+    seqs: np.ndarray,
+    horizon: float,
+) -> Tuple[list, list, list, list, list]:
+    """Build one shard's sorted static event stream.
+
+    Inputs are the shard's sessions *in global session-sort order* together
+    with the global sequence number of each session's check-in event (the
+    checkout takes ``seq + 1``).  Returns five parallel Python lists
+    ``(time, seq, device_id, session_end, kind)`` sorted by ``(time, seq)``
+    — plain lists, because element access in the merge loop is measurably
+    cheaper than numpy scalar extraction.
+    """
+    n = len(starts)
+    times = np.concatenate([starts, np.minimum(ends, horizon)])
+    seq_all = np.concatenate([seqs, seqs + 1])
+    devs = np.concatenate([device_ids, device_ids])
+    sends = np.concatenate([ends, ends])
+    kinds = np.concatenate(
+        [
+            np.full(n, KIND_CHECKIN, dtype=np.int8),
+            np.full(n, KIND_CHECKOUT, dtype=np.int8),
+        ]
+    )
+    order = np.lexsort((seq_all, times))
+    return (
+        times[order].tolist(),
+        seq_all[order].tolist(),
+        devs[order].tolist(),
+        sends[order].tolist(),
+        kinds[order].tolist(),
+    )
+
+
+def _build_stream_worker(args):
+    """Process-pool entry: build one shard's stream arrays (picklable I/O)."""
+    starts, device_ids, ends, seqs, horizon = args
+    return make_static_stream(starts, device_ids, ends, seqs, horizon)
+
+
+class DeviceShard:
+    """One shard of the device population and its event streams.
+
+    The shard owns device-local physics state — runtimes, the static
+    check-in/checkout stream, the dynamic response queue, the idle pool and
+    per-shard metrics counters — while the coordinator owns every decision.
+    In-process the "messages" between the two are direct method calls
+    (:meth:`schedule_response` is the coordinator→shard edge; the engine's
+    stream drain is the shard→coordinator edge), but all state accessed
+    through them is shard-resident, which is what keeps the protocol
+    process-ready.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        stream: Tuple[list, list, list, list, list],
+        runtimes: Dict[int, DeviceRuntime],
+        policy_name: str,
+        horizon: float,
+    ) -> None:
+        self.index = index
+        (
+            self.st_time,
+            self.st_seq,
+            self.st_dev,
+            self.st_send,
+            self.st_kind,
+        ) = stream
+        self.st_len = len(self.st_time)
+        self.cursor = 0
+        #: Dynamic (response) min-heap of
+        #: ``(time, seq, device_id, request_id, job_id, success)`` tuples.
+        self.heap: List[Tuple[float, int, int, int, int, bool]] = []
+        self.runtimes = runtimes
+        self.pool = IdleDevicePool()
+        #: Per-shard mergeable metrics (counter fields only; job metrics
+        #: stay with the coordinator, which owns the job lifecycle).
+        self.metrics = SimulationMetrics(policy=policy_name, horizon=horizon)
+        #: Coordinator→shard message bookkeeping (assignment batches).
+        self.assignments_received = 0
+        self.last_plan_version: Optional[int] = None
+        #: Events this shard contributed to the merged run.
+        self.events_processed = 0
+        #: Wall time the coordinator spent draining this shard's batches
+        #: (populated only when the engine runs with ``profile_shards``).
+        self.drain_time_s = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Stream interface
+    # ------------------------------------------------------------------ #
+    def head_key(self) -> Tuple[float, int]:
+        """(time, seq) of the shard's next event; :data:`INF_KEY` if done."""
+        if self.cursor < self.st_len:
+            static = (self.st_time[self.cursor], self.st_seq[self.cursor])
+            if self.heap and self.heap[0][0:2] < static:
+                return self.heap[0][0:2]
+            return static
+        if self.heap:
+            return self.heap[0][0:2]
+        return INF_KEY
+
+    def schedule_response(
+        self,
+        time: float,
+        seq: int,
+        device_id: int,
+        request_id: int,
+        job_id: int,
+        success: bool,
+        plan_version: Optional[int] = None,
+    ) -> None:
+        """Coordinator→shard message: one of this shard's devices was
+        assigned; its (pre-drawn) response fires at ``time``."""
+        heapq.heappush(
+            self.heap, (time, seq, device_id, request_id, job_id, success)
+        )
+        self.assignments_received += 1
+        if plan_version is not None:
+            self.last_plan_version = plan_version
+
+    def stats(self) -> Dict[str, object]:
+        """Per-shard summary for benchmarks and the scaling example."""
+        return {
+            "shard": self.index,
+            "devices": len(self.runtimes),
+            "static_events": self.st_len,
+            "events_processed": self.events_processed,
+            "checkins": self.metrics.total_checkins,
+            "responses": self.metrics.total_responses,
+            "failures": self.metrics.total_failures,
+            "assignments_received": self.assignments_received,
+            "last_plan_version": self.last_plan_version,
+            "drain_time_s": round(self.drain_time_s, 4),
+        }
+
+
+def build_shards(
+    devices: Sequence[DeviceProfile],
+    runtimes: Dict[int, DeviceRuntime],
+    availability,
+    num_shards: int,
+    horizon: float,
+    seq_start: int,
+    policy_name: str,
+    workers: int = 0,
+) -> Tuple[List[DeviceShard], int]:
+    """Partition the population into shards with ready event streams.
+
+    Returns ``(shards, seqs_consumed)`` where ``seqs_consumed`` is the
+    number of sequence numbers the static streams claimed (the coordinator
+    advances its own event counter past them so dynamic events sort after
+    same-time static ones exactly as in the single-queue engine).
+
+    ``workers > 1`` builds the per-shard arrays in a process pool; anything
+    else builds inline.  Both produce identical shards.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    starts, ids, ends = availability.checkin_events_arrays()
+    keep = starts < horizon
+    starts, ids, ends = starts[keep], ids[keep], ends[keep]
+    # Global session-sort-order sequence numbers: session i's check-in gets
+    # seq_start + 2i, its checkout seq_start + 2i + 1 (the legacy engine's
+    # exact enumeration).
+    seqs = seq_start + 2 * np.arange(len(starts), dtype=np.int64)
+    shard_masks = [ids % num_shards == k for k in range(num_shards)]
+    jobs_args = [
+        (starts[m], ids[m], ends[m], seqs[m], horizon) for m in shard_masks
+    ]
+    if workers > 1 and num_shards > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(workers, num_shards)) as ex:
+            streams = list(ex.map(_build_stream_worker, jobs_args))
+    else:
+        streams = [make_static_stream(*args) for args in jobs_args]
+    runtimes_per_shard: List[Dict[int, DeviceRuntime]] = [
+        {} for _ in range(num_shards)
+    ]
+    for d in devices:
+        device_id = d.device_id
+        runtimes_per_shard[device_id % num_shards][device_id] = runtimes[
+            device_id
+        ]
+    shards = [
+        DeviceShard(
+            index=k,
+            stream=streams[k],
+            runtimes=runtimes_per_shard[k],
+            policy_name=policy_name,
+            horizon=horizon,
+        )
+        for k in range(num_shards)
+    ]
+    return shards, 2 * len(starts)
+
+
+__all__ = [
+    "DeviceShard",
+    "INF_KEY",
+    "KIND_CHECKIN",
+    "KIND_CHECKOUT",
+    "build_shards",
+    "compute_signatures",
+    "make_static_stream",
+    "shard_of",
+]

@@ -94,6 +94,26 @@ class DeviceAvailabilityTrace:
         events.sort()
         return events
 
+    def checkin_events_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`checkin_events` as parallel numpy arrays
+        ``(starts, device_ids, ends)``.
+
+        Same (start, device_id, end) lexicographic order as the tuple form,
+        but built through one vectorised lexsort — the representation the
+        sharded engine's stream builder consumes (it avoids materialising
+        millions of Python tuples at 10^6-device scale).
+        """
+        n = len(self.sessions)
+        starts = np.empty(n, dtype=np.float64)
+        ids = np.empty(n, dtype=np.int64)
+        ends = np.empty(n, dtype=np.float64)
+        for i, s in enumerate(self.sessions):
+            starts[i] = s.start
+            ids[i] = s.device_id
+            ends[i] = s.end
+        order = np.lexsort((ends, ids, starts))
+        return starts[order], ids[order], ends[order]
+
     def availability_curve(
         self, resolution: float = 600.0
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -134,6 +154,13 @@ class DiurnalAvailabilityModel:
     availability target, and each gap is followed by a log-normal online
     session.  The resulting population-level availability tracks the
     configured peak/trough fractions.
+
+    Every device draws from its **own random stream**, a
+    :class:`numpy.random.SeedSequence` child keyed by the global device id
+    (``spawn_key=(device_id,)``).  A device's sessions therefore depend only
+    on the model seed and its id — never on how many other devices exist or
+    in which order they are generated — so a sharded builder can generate
+    any subset of devices and obtain bit-identical sessions.
     """
 
     def __init__(
@@ -142,12 +169,20 @@ class DiurnalAvailabilityModel:
         seed: Optional[int] = None,
     ) -> None:
         self.config = config or DiurnalConfig()
-        self._rng = np.random.default_rng(seed)
+        # Normalising through a SeedSequence gives stable entropy even for
+        # seed=None (a random run is still internally consistent).
+        self._entropy = np.random.SeedSequence(seed).entropy
 
-    def _sample_session_length(self) -> float:
+    def _device_rng(self, device_id: int) -> np.random.Generator:
+        """The per-device stream keyed by global device id."""
+        return np.random.default_rng(
+            np.random.SeedSequence(entropy=self._entropy, spawn_key=(device_id,))
+        )
+
+    def _sample_session_length(self, rng: np.random.Generator) -> float:
         cfg = self.config
         return float(
-            np.exp(self._rng.normal(np.log(cfg.median_session), cfg.session_sigma))
+            np.exp(rng.normal(np.log(cfg.median_session), cfg.session_sigma))
         )
 
     def _mean_offline_gap(self, t: float) -> float:
@@ -161,28 +196,45 @@ class DiurnalAvailabilityModel:
         mean_session = cfg.median_session * float(np.exp(cfg.session_sigma**2 / 2))
         return mean_session * (1.0 - p) / p
 
-    def generate(self, num_devices: int) -> DeviceAvailabilityTrace:
-        """Generate a trace for ``num_devices`` devices over the horizon."""
+    def device_sessions(self, device_id: int) -> List[AvailabilitySession]:
+        """Sessions of one device, independent of every other device."""
+        cfg = self.config
+        rng = self._device_rng(device_id)
+        sessions: List[AvailabilitySession] = []
+        # Random initial phase so devices are not synchronised.
+        t = float(rng.uniform(0.0, self._mean_offline_gap(0.0)))
+        while t < cfg.horizon:
+            gap = float(rng.exponential(self._mean_offline_gap(t)))
+            start = t + gap
+            if start >= cfg.horizon:
+                break
+            length = self._sample_session_length(rng)
+            end = min(start + length, cfg.horizon)
+            if end > start:
+                sessions.append(
+                    AvailabilitySession(device_id=device_id, start=start, end=end)
+                )
+            t = end
+        return sessions
+
+    def generate(
+        self, num_devices: int, device_ids: Optional[Sequence[int]] = None
+    ) -> DeviceAvailabilityTrace:
+        """Generate a trace for ``num_devices`` devices over the horizon.
+
+        ``device_ids`` restricts generation to a subset (a shard) — the
+        sessions of each listed device are identical to the ones it would
+        get in the full-population trace.
+        """
         if num_devices <= 0:
             raise ValueError("num_devices must be positive")
-        cfg = self.config
+        ids = range(num_devices) if device_ids is None else device_ids
         sessions: List[AvailabilitySession] = []
-        for dev in range(num_devices):
-            # Random initial phase so devices are not synchronised.
-            t = float(self._rng.uniform(0.0, self._mean_offline_gap(0.0)))
-            while t < cfg.horizon:
-                gap = float(self._rng.exponential(self._mean_offline_gap(t)))
-                start = t + gap
-                if start >= cfg.horizon:
-                    break
-                length = self._sample_session_length()
-                end = min(start + length, cfg.horizon)
-                if end > start:
-                    sessions.append(
-                        AvailabilitySession(device_id=dev, start=start, end=end)
-                    )
-                t = end
-        return DeviceAvailabilityTrace(horizon=cfg.horizon, sessions=sessions)
+        for dev in ids:
+            sessions.extend(self.device_sessions(dev))
+        return DeviceAvailabilityTrace(
+            horizon=self.config.horizon, sessions=sessions
+        )
 
 
 def merge_traces(traces: Sequence[DeviceAvailabilityTrace]) -> DeviceAvailabilityTrace:

@@ -142,3 +142,44 @@ class TestStatsAggregation:
         # Job 1's budget is 1200 s x 2 scale = 2400 s < 4000 s: missed.
         assert m.sla_attainment() == 0.0
         assert m.sla_attainment(slo_scale=4.0) == pytest.approx(0.5)
+
+
+class TestAggregateMetrics:
+    """In-memory aggregation over SimulationMetrics objects."""
+
+    def _metrics(self, jcts, policy="venn", horizon=10_000.0):
+        m = SimulationMetrics(policy=policy, horizon=horizon)
+        for i, jct in enumerate(jcts, start=1):
+            m.jobs[i] = JobMetrics(
+                job_id=i, name=f"j{i}", category="general",
+                demand_per_round=5, num_rounds=1, total_demand=5,
+                arrival_time=0.0, completed=jct is not None, jct=jct,
+                round_deadline=600.0,
+            )
+        return m
+
+    def test_matches_row_based_aggregation(self):
+        from repro.analysis.aggregate import aggregate_metrics, metrics_row
+
+        cells = [
+            ("even", "venn", self._metrics([100.0, 200.0])),
+            ("even", "venn", self._metrics([300.0])),
+            ("even", "random", self._metrics([500.0])),
+        ]
+        via_metrics = aggregate_metrics(cells)
+        via_rows = aggregate_rows(
+            [metrics_row(s, p, m) for s, p, m in cells]
+        )
+        assert via_metrics == via_rows
+        agg = via_metrics[("even", "venn")]
+        assert agg.num_cells == 2
+        assert agg.num_jobs == 3
+        assert agg.mean_jct == pytest.approx(200.0)
+
+    def test_censoring_flows_through(self):
+        from repro.analysis.aggregate import aggregate_metrics
+
+        m = self._metrics([None], horizon=5_000.0)  # unfinished job
+        agg = aggregate_metrics([("s", "venn", m)])[("s", "venn")]
+        assert agg.mean_jct == pytest.approx(5_000.0)  # censored to horizon
+        assert agg.completion_rate == 0.0

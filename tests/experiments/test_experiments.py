@@ -201,3 +201,42 @@ class TestAnalysisExperiments:
         assert set(curves) == {1, 4}
         assert all(len(v) == 4 for v in curves.values())
         assert final_accuracy_by_policy(curves)[1] > 0
+
+
+class TestNumShardsPlumbing:
+    def test_num_shards_flows_into_simulation_config(self):
+        from repro.experiments.config import quick_config
+
+        cfg = quick_config().with_shards(4)
+        assert cfg.num_shards == 4
+        assert cfg.simulation.num_shards == 4
+        assert cfg.simulation.use_sharded_engine
+        # replace-based copies keep the shard count.
+        assert cfg.with_seed(99).simulation.num_shards == 4
+
+    def test_invalid_num_shards_rejected(self):
+        import pytest
+        from dataclasses import replace
+        from repro.experiments.config import quick_config
+
+        with pytest.raises(ValueError, match="num_shards"):
+            replace(quick_config(), num_shards=0)
+
+    def test_run_policy_honours_shard_knob(self):
+        """endtoend.run_policy inherits the engine choice from the config;
+        sharded and single-queue runs agree bit-for-bit."""
+        from dataclasses import replace
+
+        from repro.experiments.config import quick_config
+        from repro.experiments.endtoend import run_policy
+        from repro.experiments.environment import build_environment
+
+        small = replace(quick_config(seed=3).with_jobs(4), num_devices=200)
+        env_single = build_environment(small)
+        env_sharded = build_environment(small.with_shards(3))
+        single = run_policy(env_single, "venn")
+        sharded = run_policy(env_sharded, "venn")
+        assert {j: m.jct for j, m in single.jobs.items()} == {
+            j: m.jct for j, m in sharded.jobs.items()
+        }
+        assert single.total_checkins == sharded.total_checkins

@@ -150,7 +150,8 @@ def job_request(job: JobSpec):
 
 
 def simulation_snapshot(
-    name: str, use_index: bool, plan_maintenance: str = "incremental"
+    name: str, use_index: bool, plan_maintenance: str = "incremental",
+    num_shards: int = 1,
 ) -> dict:
     devices, trace, jobs, horizon = scenario(name)
     policy = VennScheduler(
@@ -161,6 +162,7 @@ def simulation_snapshot(
         seed=11,
         latency=GOLDEN_LATENCY,
         indexed_dispatch=use_index,
+        num_shards=num_shards,
         # The contended scenario keeps the paper's one-job-per-day realism
         # constraint (it is part of what makes it contended); the
         # uncontended one lifts it so devices freely serve consecutive
@@ -229,6 +231,19 @@ class TestGoldenScenarios:
         fast = simulation_snapshot(name, True)
         legacy = simulation_snapshot(name, False)
         assert fast == legacy
+
+    def test_sharded_engine_reproduces_fixture_exactly(self, name):
+        """The coordinator/shard engine must land on the frozen fixture for
+        several shard counts — the golden half of the shard-identity
+        contract (the benchmark's decision hash is the other half)."""
+        path = fixture_path(name)
+        if os.environ.get("REGEN_GOLDEN"):
+            pytest.skip("fixtures being regenerated")
+        with open(path) as fh:
+            expected = json.load(fh)
+        for num_shards in (1, 3):
+            sharded = simulation_snapshot(name, True, num_shards=num_shards)
+            assert_matches(sharded, expected["jobs"])
 
     def test_incremental_and_full_maintenance_agree_exactly(self, name):
         """Incremental plan maintenance (the default) must make bit-identical

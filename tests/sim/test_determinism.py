@@ -85,13 +85,37 @@ def test_same_seed_bit_identical_metrics(policy_factory):
 
 
 def test_unseeded_policy_adopts_engine_generator():
-    """Engine, latency model and unseeded policy share ONE generator."""
+    """Unseeded policies share the engine generator; the latency model
+    draws from per-device streams keyed by the same config seed."""
     devices, trace, jobs = environment(num_devices=5)
     policy = VennScheduler()  # no seed
     sim = Simulator(devices, trace, jobs, policy,
                     SimulationConfig(horizon=10_000.0, seed=1))
     assert policy._rng is sim.rng
-    assert sim.latency._rng is sim.rng
+    assert sim.latency.per_device
+    assert sim.latency._entropy == 1
+
+
+def test_latency_draws_are_draw_order_independent():
+    """Per-device latency streams: interleaving draws across devices in any
+    order yields the same per-device sequences (the property sharding
+    relies on)."""
+    from repro.sim.latency import LatencyConfig, ResponseLatencyModel
+    from tests.conftest import make_device, make_job
+
+    job = make_job(1, demand=1, rounds=1, deadline=100.0, base_task_duration=60.0)
+    d1 = make_device(device_id=3, cpu=0.5, mem=0.5)
+    d2 = make_device(device_id=9, cpu=0.5, mem=0.5)
+
+    a = ResponseLatencyModel(LatencyConfig(), per_device_entropy=42)
+    seq_a = [a.sample_duration(job, d1), a.sample_duration(job, d2),
+             a.sample_duration(job, d1), a.sample_failure(d2)]
+    b = ResponseLatencyModel(LatencyConfig(), per_device_entropy=42)
+    # Different interleaving: all of d2's draws before d1's.
+    b2_first = b.sample_duration(job, d2)
+    b2_fail = b.sample_failure(d2)
+    b1 = [b.sample_duration(job, d1), b.sample_duration(job, d1)]
+    assert seq_a == [b1[0], b2_first, b1[1], b2_fail]
 
 
 def test_seeded_policy_keeps_its_own_generator():

@@ -1,0 +1,285 @@
+"""Unit tests for the device-shard layer (:mod:`repro.sim.shard`).
+
+The sharded engine's correctness rests on three local properties pinned
+here: vectorised signature precompute equals the per-device predicate walk,
+shard streams carry the exact legacy sequence enumeration in sorted order,
+and multi-pool dispatch visits devices in the same global order as one
+union pool.  (End-to-end bit-identity lives in
+``tests/sim/test_sharded_engine.py``.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.requirements import (
+    COMPUTE_RICH,
+    GENERAL,
+    HIGH_PERFORMANCE,
+    MEMORY_RICH,
+    EligibilityRequirement,
+    signature_of,
+)
+from repro.sim.device import DeviceRuntime
+from repro.sim.dispatch import IdleDevicePool, PendingRequestPool, dispatch_pools
+from repro.sim.shard import (
+    INF_KEY,
+    build_shards,
+    compute_signatures,
+    make_static_stream,
+    shard_of,
+)
+from repro.traces.device_trace import (
+    AvailabilitySession,
+    DeviceAvailabilityTrace,
+)
+from tests.conftest import make_device
+
+REQS = [
+    GENERAL,
+    COMPUTE_RICH,
+    MEMORY_RICH,
+    HIGH_PERFORMANCE,
+    EligibilityRequirement("kbd", min_cpu=0.3, data_domain="keyboard"),
+]
+
+
+class TestComputeSignatures:
+    def test_matches_signature_of_exactly(self):
+        rng = np.random.default_rng(5)
+        devices = [
+            make_device(
+                device_id=i,
+                cpu=float(rng.uniform(0, 1)),
+                mem=float(rng.uniform(0, 1)),
+                domains=("keyboard",) if rng.random() < 0.4 else (),
+            )
+            for i in range(300)
+        ]
+        fast = compute_signatures(devices, REQS)
+        for d in devices:
+            assert fast[d.device_id] == signature_of(d, REQS)
+
+    @given(
+        cpu=st.floats(0.0, 1.0),
+        mem=st.floats(0.0, 1.0),
+        has_domain=st.booleans(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_equivalence(self, cpu, mem, has_domain):
+        device = make_device(
+            device_id=1, cpu=cpu, mem=mem,
+            domains=("keyboard",) if has_domain else (),
+        )
+        assert compute_signatures([device], REQS)[1] == signature_of(
+            device, REQS
+        )
+
+    def test_signatures_are_interned(self):
+        devices = [make_device(device_id=i, cpu=0.9, mem=0.9) for i in range(5)]
+        sigs = compute_signatures(devices, REQS)
+        assert all(sigs[i] is sigs[0] for i in range(5))
+
+    def test_subclassed_requirement_falls_back(self):
+        class Odd(EligibilityRequirement):
+            def is_eligible(self, device):
+                return device.device_id % 2 == 1
+
+        odd = Odd("odd")
+        devices = [make_device(device_id=i) for i in range(4)]
+        sigs = compute_signatures(devices, [odd])
+        assert sigs[0] == frozenset()
+        assert sigs[1] == frozenset({"odd"})
+
+    def test_empty_requirements(self):
+        devices = [make_device(device_id=3)]
+        assert compute_signatures(devices, []) == {3: frozenset()}
+
+    def test_more_than_63_requirements_fall_back_exactly(self):
+        """The vectorised path packs one requirement per int64 bit; >63
+        requirements must fall back to the exact per-device walk instead of
+        silently overflowing the shift (regression test)."""
+        reqs = [
+            EligibilityRequirement(f"r{k}", min_cpu=k / 100.0)
+            for k in range(65)
+        ]
+        # Eligible only for the low-threshold requirements — including one
+        # whose bit index (64) would overflow an int64 shift.
+        device = make_device(device_id=1, cpu=0.645, mem=1.0)
+        assert compute_signatures([device], reqs)[1] == signature_of(
+            device, reqs
+        )
+        strong = make_device(device_id=2, cpu=1.0, mem=1.0)
+        assert compute_signatures([strong], reqs)[2] == frozenset(
+            r.name for r in reqs
+        )
+
+
+class TestStaticStream:
+    def test_sorted_by_time_then_seq_with_legacy_seqs(self):
+        starts = np.array([1.0, 2.0, 5.0])
+        ids = np.array([4, 2, 0])
+        ends = np.array([5.0, 9.0, 6.0])
+        seqs = np.array([10, 12, 14])  # seq_start 10, 2 per session
+        times, seq, devs, sends, kinds = make_static_stream(
+            starts, ids, ends, seqs, horizon=8.0
+        )
+        # Events: checkin(1, s10), checkin(2, s12), checkout(5, s11),
+        # checkin(5, s14), checkout(min(6,8)=6, s15), checkout(min(9,8)=8, s13)
+        assert times == [1.0, 2.0, 5.0, 5.0, 6.0, 8.0]
+        assert seq == [10, 12, 11, 14, 15, 13]
+        assert kinds == [0, 0, 1, 0, 1, 1]
+        # Checkout events carry the *original* session end.
+        assert sends == [5.0, 9.0, 5.0, 6.0, 6.0, 9.0]
+        assert devs == [4, 2, 4, 0, 0, 2]
+
+    def test_same_time_checkout_sorts_before_later_seq_checkin(self):
+        # Session A [1, 5] (seqs 0/1), session B [5, 9] (seqs 2/3): at t=5
+        # A's checkout (seq 1) precedes B's check-in (seq 2), like the
+        # single-queue engine's insertion order.
+        times, seq, devs, sends, kinds = make_static_stream(
+            np.array([1.0, 5.0]), np.array([7, 7]), np.array([5.0, 9.0]),
+            np.array([0, 2]), horizon=100.0,
+        )
+        assert list(zip(times, kinds)) == [
+            (1.0, 0), (5.0, 1), (5.0, 0), (9.0, 1)
+        ]
+
+
+def _trace(sessions):
+    horizon = max(e for (_, _, e) in sessions)
+    return DeviceAvailabilityTrace(
+        horizon=horizon,
+        sessions=[AvailabilitySession(d, s, e) for (d, s, e) in sessions],
+    )
+
+
+class TestBuildShards:
+    def _runtimes(self, devices):
+        return {d.device_id: DeviceRuntime(profile=d) for d in devices}
+
+    def test_partition_and_seq_budget(self):
+        devices = [make_device(device_id=i) for i in range(6)]
+        trace = _trace([(i, float(i), float(i) + 10.0) for i in range(6)])
+        shards, consumed = build_shards(
+            devices, self._runtimes(devices), trace, num_shards=3,
+            horizon=100.0, seq_start=2, policy_name="p",
+        )
+        assert consumed == 12  # two seqs per session
+        assert [sorted(sh.runtimes) for sh in shards] == [
+            [0, 3], [1, 4], [2, 5]
+        ]
+        all_seqs = sorted(s for sh in shards for s in sh.st_seq)
+        assert all_seqs == list(range(2, 14))
+
+    def test_sessions_past_horizon_consume_no_seqs(self):
+        devices = [make_device(device_id=0), make_device(device_id=1)]
+        trace = _trace([(0, 1.0, 5.0), (1, 50.0, 60.0)])
+        shards, consumed = build_shards(
+            devices, self._runtimes(devices), trace, num_shards=2,
+            horizon=10.0, seq_start=0, policy_name="p",
+        )
+        assert consumed == 2  # the t=50 session is beyond the horizon
+        assert shards[1].st_len == 0
+
+    def test_head_key_merges_static_and_dynamic(self):
+        devices = [make_device(device_id=0)]
+        trace = _trace([(0, 4.0, 9.0)])
+        shards, _ = build_shards(
+            devices, self._runtimes(devices), trace, num_shards=1,
+            horizon=10.0, seq_start=0, policy_name="p",
+        )
+        sh = shards[0]
+        assert sh.head_key() == (4.0, 0)
+        sh.schedule_response(2.0, 99, 0, 1, 1, True, plan_version=3)
+        assert sh.head_key() == (2.0, 99)
+        assert sh.assignments_received == 1
+        assert sh.last_plan_version == 3
+        sh.heap.clear()
+        sh.cursor = sh.st_len
+        assert sh.head_key() == INF_KEY
+
+    def test_parallel_build_matches_inline(self):
+        devices = [make_device(device_id=i) for i in range(20)]
+        sessions = [
+            (i, float(i) * 0.5, float(i) * 0.5 + 7.0) for i in range(20)
+        ]
+        trace = _trace(sessions)
+        inline, c1 = build_shards(
+            devices, self._runtimes(devices), trace, num_shards=4,
+            horizon=15.0, seq_start=1, policy_name="p", workers=0,
+        )
+        pooled, c2 = build_shards(
+            devices, self._runtimes(devices), trace, num_shards=4,
+            horizon=15.0, seq_start=1, policy_name="p", workers=2,
+        )
+        assert c1 == c2
+        for a, b in zip(inline, pooled):
+            assert a.st_time == b.st_time
+            assert a.st_seq == b.st_seq
+            assert a.st_dev == b.st_dev
+            assert a.st_send == b.st_send
+            assert a.st_kind == b.st_kind
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            build_shards([], {}, _trace([(0, 1.0, 2.0)]), 0, 10.0, 0, "p")
+
+
+class TestDispatchPools:
+    """Multi-pool dispatch must equal one union pool, visit for visit."""
+
+    def _pending(self, names):
+        pending = PendingRequestPool()
+        for i, name in enumerate(names):
+            pending.add(i + 1, name)
+        return pending
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_equals_union_pool(self, data):
+        sig_pool = [
+            frozenset({"a"}), frozenset({"b"}), frozenset({"a", "b"}),
+            frozenset(),
+        ]
+        devices = data.draw(
+            st.dictionaries(
+                st.integers(0, 40),
+                st.sampled_from(sig_pool),
+                min_size=1, max_size=25,
+            )
+        )
+        num_shards = data.draw(st.integers(1, 4))
+        pending_names = data.draw(
+            st.lists(st.sampled_from(["a", "b"]), min_size=1, max_size=2,
+                     unique=True)
+        )
+
+        union = IdleDevicePool()
+        sharded = [IdleDevicePool() for _ in range(num_shards)]
+        for device_id, sig in devices.items():
+            union.add(device_id, sig)
+            sharded[shard_of(device_id, num_shards)].add(device_id, sig)
+
+        union_visits, shard_visits = [], []
+        dispatch_pools(
+            [union], self._pending(pending_names), 0.0, union_visits.append
+        )
+        dispatch_pools(
+            sharded, self._pending(pending_names), 0.0, shard_visits.append
+        )
+        assert shard_visits == union_visits
+        # Ascending device-id order across shards.
+        assert shard_visits == sorted(shard_visits)
+
+    def test_parked_devices_promote_across_pools(self):
+        pools = [IdleDevicePool(), IdleDevicePool()]
+        pools[0].park(0, frozenset({"a"}), eligible_day=1)
+        pools[1].add(1, frozenset({"a"}))
+        visits = []
+        day = 24 * 3600.0
+        dispatch_pools(pools, self._pending(["a"]), 1.5 * day, visits.append)
+        assert visits == [0, 1]

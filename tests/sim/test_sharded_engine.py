@@ -1,0 +1,285 @@
+"""End-to-end bit-identity of the coordinator/shard engine.
+
+The hard contract of the sharding refactor: for ANY shard count, the
+sharded engine makes exactly the decisions of the single-queue engine and
+reports exactly its metrics.  These tests enforce it the same way PR 3
+enforced incremental-vs-full plan identity — twin runs over
+hypothesis-generated environments plus fixed structural checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import make_policy
+from repro.core.requirements import (
+    COMPUTE_RICH,
+    GENERAL,
+    HIGH_PERFORMANCE,
+    MEMORY_RICH,
+)
+from repro.core.scheduler import VennScheduler
+from repro.sim.engine import SimulationConfig, Simulator, run_simulation
+from repro.sim.latency import LatencyConfig
+from repro.traces.capacity import CapacitySampler
+from repro.traces.device_trace import DiurnalAvailabilityModel, DiurnalConfig
+from tests.conftest import make_device, make_job
+
+REQUIREMENTS = (GENERAL, COMPUTE_RICH, MEMORY_RICH, HIGH_PERFORMANCE)
+
+
+def plan_counters(metrics):
+    """Plan-maintenance snapshot minus wall-clock fields (those measure the
+    host, not the decisions)."""
+    if metrics.plan_maintenance is None:
+        return None
+    return {
+        k: v
+        for k, v in metrics.plan_maintenance.items()
+        if not k.endswith("_time_s")
+    }
+
+
+def fingerprint(metrics):
+    """Bit-level summary of everything a run reports."""
+    return (
+        [
+            (
+                job_id,
+                jm.jct,
+                tuple(jm.scheduling_delays),
+                tuple(jm.response_times),
+                jm.rounds_completed,
+                jm.aborted_rounds,
+                jm.completed,
+            )
+            for job_id, jm in sorted(metrics.jobs.items())
+        ],
+        metrics.total_checkins,
+        metrics.total_responses,
+        metrics.total_failures,
+        metrics.total_aborts,
+        plan_counters(metrics),
+    )
+
+
+def build_environment(env_seed: int, num_devices: int, num_jobs: int,
+                      horizon: float):
+    devices = CapacitySampler(seed=env_seed).sample_devices(num_devices)
+    trace = DiurnalAvailabilityModel(
+        DiurnalConfig(
+            horizon=horizon, peak_availability=0.5, trough_availability=0.3,
+            median_session=3 * 3600.0,
+        ),
+        seed=env_seed + 1,
+    ).generate(num_devices)
+    rng = np.random.default_rng(env_seed + 2)
+    jobs = [
+        make_job(
+            job_id=j + 1,
+            requirement=REQUIREMENTS[int(rng.integers(len(REQUIREMENTS)))],
+            demand=int(rng.integers(2, 14)),
+            rounds=int(rng.integers(1, 4)),
+            arrival=float(rng.uniform(0, horizon / 4)),
+            deadline=float(rng.uniform(2_000.0, 8_000.0)),
+            base_task_duration=60.0,
+        )
+        for j in range(num_jobs)
+    ]
+    return devices, trace, jobs
+
+
+def run_with_shards(devices, trace, jobs, policy_name, num_shards,
+                    horizon, *, forced=None, enforce_daily=True):
+    config = SimulationConfig(
+        horizon=horizon,
+        seed=17,
+        latency=LatencyConfig(compute_sigma=0.3),
+        num_shards=num_shards,
+        sharded_dispatch=forced,
+        enforce_daily_limit=enforce_daily,
+    )
+    policy = make_policy(policy_name, seed=9)
+    return run_simulation(devices, trace, jobs, policy, config)
+
+
+class TestShardIdentity:
+    @given(
+        env_seed=st.integers(0, 10_000),
+        num_shards=st.integers(2, 5),
+        policy_name=st.sampled_from(["venn", "random", "srsf"]),
+        enforce_daily=st.booleans(),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_twin_runs_bit_identical(self, env_seed, num_shards, policy_name,
+                                     enforce_daily):
+        """Legacy engine vs sharded engine: same decisions, same metrics,
+        for hypothesis-chosen environments and shard counts."""
+        horizon = 40_000.0
+        devices, trace, jobs = build_environment(env_seed, 60, 5, horizon)
+        legacy = run_with_shards(
+            devices, trace, jobs, policy_name, 1, horizon,
+            enforce_daily=enforce_daily,
+        )
+        sharded = run_with_shards(
+            devices, trace, jobs, policy_name, num_shards, horizon,
+            enforce_daily=enforce_daily,
+        )
+        assert fingerprint(sharded) == fingerprint(legacy)
+
+    def test_single_shard_forced_path_matches_legacy(self):
+        horizon = 50_000.0
+        devices, trace, jobs = build_environment(3, 80, 6, horizon)
+        legacy = run_with_shards(devices, trace, jobs, "venn", 1, horizon)
+        forced = run_with_shards(
+            devices, trace, jobs, "venn", 1, horizon, forced=True
+        )
+        assert fingerprint(forced) == fingerprint(legacy)
+
+    def test_shard_counts_agree_with_each_other(self):
+        horizon = 50_000.0
+        devices, trace, jobs = build_environment(11, 90, 8, horizon)
+        prints = {
+            shards: fingerprint(
+                run_with_shards(devices, trace, jobs, "venn", shards, horizon)
+            )
+            for shards in (1, 2, 4)
+        }
+        assert prints[1] == prints[2] == prints[4]
+
+    def test_merged_metrics_counters_match_scalar_sums(self):
+        """The reduction over per-shard metrics is exact: counters equal
+        the single-queue totals, job metrics are untouched."""
+        horizon = 40_000.0
+        devices, trace, jobs = build_environment(23, 70, 5, horizon)
+        legacy = run_with_shards(devices, trace, jobs, "venn", 1, horizon)
+        sharded = run_with_shards(devices, trace, jobs, "venn", 3, horizon)
+        assert sharded.total_checkins == legacy.total_checkins
+        assert sharded.total_responses == legacy.total_responses
+        assert sharded.total_failures == legacy.total_failures
+        assert sharded.total_aborts == legacy.total_aborts
+        assert sharded.jobs.keys() == legacy.jobs.keys()
+
+
+class TestShardedEngineMechanics:
+    def _env(self):
+        horizon = 30_000.0
+        devices, trace, jobs = build_environment(5, 40, 4, horizon)
+        return devices, trace, jobs, horizon
+
+    def test_shard_stats_cover_all_events(self):
+        devices, trace, jobs, horizon = self._env()
+        config = SimulationConfig(
+            horizon=horizon, seed=17, num_shards=3, profile_shards=True
+        )
+        sim = Simulator(devices, trace, jobs, make_policy("venn", seed=9),
+                        config)
+        sim.run()
+        stats = sim.shard_stats()
+        assert len(stats) == 3
+        shard_events = sum(s["events_processed"] for s in stats)
+        # Coordinator events (arrivals, deadlines) make up the difference.
+        assert 0 < shard_events <= sim.events_processed
+        assert sum(s["devices"] for s in stats) == len(devices)
+        # Venn broadcasts plan versions with assignment batches.
+        assert any(s["last_plan_version"] is not None for s in stats)
+
+    def test_plan_version_advances_and_snapshot_exposes_it(self):
+        devices, trace, jobs, horizon = self._env()
+        policy = VennScheduler(seed=9)
+        sim = Simulator(
+            devices, trace, jobs, policy,
+            SimulationConfig(horizon=horizon, seed=17, num_shards=2),
+        )
+        sim.run()
+        assert policy.plan_version > 0
+        snapshot = policy.plan_snapshot()
+        assert snapshot["version"] == policy.plan_version
+        assert isinstance(snapshot["group_order"], list)
+
+    def test_max_events_guard_fires_sharded(self):
+        devices, trace, jobs, horizon = self._env()
+        config = SimulationConfig(
+            horizon=horizon, seed=17, num_shards=2, max_events=50
+        )
+        sim = Simulator(devices, trace, jobs, make_policy("venn", seed=9),
+                        config)
+        with pytest.raises(RuntimeError, match="max_events"):
+            sim.run()
+
+    def test_sharded_requires_indexed_dispatch(self):
+        with pytest.raises(ValueError, match="indexed_dispatch"):
+            SimulationConfig(num_shards=2, indexed_dispatch=False)
+
+    def test_num_shards_validated(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            SimulationConfig(num_shards=0)
+
+
+class TestSignatureProvider:
+    def test_provider_signatures_equal_direct_ones(self):
+        """The restriction of an engine-precomputed full signature must be
+        bit-identical to the policy's own computation — including after
+        requirement-set changes (cache wipes)."""
+        from repro.sim.shard import compute_signatures
+
+        rng = np.random.default_rng(2)
+        devices = [
+            make_device(
+                device_id=i, cpu=float(rng.uniform(0, 1)),
+                mem=float(rng.uniform(0, 1)),
+            )
+            for i in range(50)
+        ]
+        requirements = [GENERAL, COMPUTE_RICH, HIGH_PERFORMANCE]
+        full = compute_signatures(devices, requirements)
+
+        with_provider = VennScheduler(seed=1)
+        with_provider.bind_signature_provider(full.__getitem__, requirements)
+        without = VennScheduler(seed=1)
+
+        jobs = [
+            make_job(job_id=1, requirement=COMPUTE_RICH, demand=3),
+            make_job(job_id=2, requirement=GENERAL, demand=3),
+        ]
+        for policy in (with_provider, without):
+            for job in jobs:
+                policy.on_job_arrival(job, 0.0)
+        for device in devices:
+            assert with_provider._signature_for(device) == without._signature_for(
+                device
+            )
+        assert with_provider._provider_ok
+        # Requirement-set change: caches reset, restrictions recomputed.
+        job3 = make_job(job_id=3, requirement=HIGH_PERFORMANCE, demand=2)
+        for policy in (with_provider, without):
+            policy.on_job_finished(1, 10.0)
+            policy.on_job_arrival(job3, 10.0)
+        for device in devices:
+            assert with_provider._signature_for(device) == without._signature_for(
+                device
+            )
+
+    def test_ambiguous_requirement_names_disable_provider(self):
+        other_general = type(GENERAL)("general", min_cpu=0.9)
+        policy = VennScheduler(seed=1)
+        policy.bind_signature_provider(
+            (lambda did: frozenset()), [GENERAL, other_general]
+        )
+        policy.on_job_arrival(make_job(job_id=1, requirement=GENERAL), 0.0)
+        policy._ensure_atom_space()
+        assert not policy._provider_ok
+
+    def test_mismatched_requirement_object_falls_back(self):
+        stricter = type(GENERAL)("general", min_cpu=0.7)
+        policy = VennScheduler(seed=1)
+        policy.bind_signature_provider((lambda did: frozenset()), [stricter])
+        policy.on_job_arrival(make_job(job_id=1, requirement=GENERAL), 0.0)
+        policy._ensure_atom_space()
+        assert not policy._provider_ok
+        # Falls back to exact local computation.
+        device = make_device(device_id=1, cpu=0.1, mem=0.1)
+        assert policy._signature_for(device) == frozenset({"general"})

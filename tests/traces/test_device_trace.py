@@ -139,3 +139,42 @@ class TestAvailabilityCurveAndMerge:
         assert len(events) == len(trace.sessions)
         assert all(start < end for (start, _, end) in events)
         assert [e[0] for e in events] == sorted(e[0] for e in events)
+
+
+class TestPerDeviceStreams:
+    """The diurnal model's per-device SeedSequence keying: a device's
+    sessions depend on (seed, device_id) only — the property that lets a
+    shard generate any subset of the population bit-identically."""
+
+    def _model(self):
+        from repro.traces.device_trace import (
+            DiurnalAvailabilityModel,
+            DiurnalConfig,
+        )
+        return DiurnalAvailabilityModel(
+            DiurnalConfig(horizon=2 * 24 * 3600.0), seed=123
+        )
+
+    def test_subset_generation_matches_full_trace(self):
+        full = self._model().generate(12)
+        subset_ids = [1, 5, 11]
+        subset = self._model().generate(12, device_ids=subset_ids)
+        for dev in subset_ids:
+            assert subset.sessions_of(dev) == full.sessions_of(dev)
+        assert {s.device_id for s in subset.sessions} <= set(subset_ids)
+
+    def test_population_size_does_not_change_a_device(self):
+        small = self._model().generate(3)
+        large = self._model().generate(30)
+        for dev in range(3):
+            assert small.sessions_of(dev) == large.sessions_of(dev)
+
+    def test_checkin_events_arrays_match_tuple_form(self):
+        import numpy as np
+
+        trace = self._model().generate(20)
+        starts, ids, ends = trace.checkin_events_arrays()
+        tuples = trace.checkin_events()
+        assert [tuple(t) for t in zip(starts, ids, ends)] == [
+            (s, d, e) for (s, d, e) in tuples
+        ]

@@ -12,6 +12,9 @@ whole system in Python:
 * :mod:`repro.traces`      — synthetic device-availability, device-capacity
   and job-demand traces;
 * :mod:`repro.fl`          — a numpy federated-learning substrate (FedAvg);
+* :mod:`repro.cosim`       — scheduler-driven federated co-simulation: the
+  trainer runs inside the simulation loop and every scenario yields
+  time-to-accuracy curves;
 * :mod:`repro.analysis`    — metrics, sweep aggregation and report
   formatting;
 * :mod:`repro.experiments` — drivers that regenerate every table and figure
@@ -32,8 +35,10 @@ Quickstart::
 """
 
 # `scenarios` must come after `experiments`: scenario specs build on the
-# experiment config machinery.
+# experiment config machinery.  `cosim` comes last: it couples the
+# experiment, fl and sim layers into the federated co-simulation.
 from . import analysis, core, experiments, fl, scenarios, sim, traces
+from . import cosim
 from .core import (
     DeviceProfile,
     EligibilityRequirement,
@@ -64,6 +69,7 @@ __all__ = [
     "__version__",
     "analysis",
     "core",
+    "cosim",
     "experiments",
     "fl",
     "make_policy",

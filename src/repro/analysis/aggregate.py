@@ -13,11 +13,12 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .report import format_table
+from .stats import mean_confidence_interval
 
 
 def write_jsonl(rows: Iterable[Mapping], path: str) -> None:
@@ -155,6 +156,144 @@ def aggregate_metrics(
     )
 
 
+# --------------------------------------------------------------------------- #
+# Time-to-accuracy (co-simulation rows)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TargetAggregate:
+    """Time-to-accuracy summary of one (scenario, policy, target) bucket."""
+
+    target: float
+    #: Jobs that reached the target / all workload jobs across the cells.
+    attained_jobs: int
+    total_jobs: int
+    #: Mean and Student-t 95% CI of the time-to-target over attaining jobs
+    #: (zero-width on 0/1 attaining jobs — see ``mean_confidence_interval``).
+    mean_time: float
+    time_ci_low: float
+    time_ci_high: float
+
+    @property
+    def attainment(self) -> float:
+        return self.attained_jobs / self.total_jobs if self.total_jobs else 0.0
+
+
+@dataclass(frozen=True)
+class CoSimAggregateRow:
+    """Summary of all co-sim cells sharing one (scenario, policy) pair."""
+
+    scenario: str
+    policy: str
+    num_cells: int
+    total_jobs: int
+    #: Mean final accuracy over the jobs that completed at least one round.
+    mean_final_accuracy: float
+    #: Per-target time-to-accuracy summaries, ascending by target.
+    targets: Tuple[TargetAggregate, ...]
+
+    def target(self, value: float) -> Optional[TargetAggregate]:
+        for t in self.targets:
+            if t.target == value:
+                return t
+        return None
+
+
+def aggregate_cosim_rows(
+    rows: Sequence[Mapping],
+) -> Dict[Tuple[str, str], CoSimAggregateRow]:
+    """Fold co-simulation sweep rows into per-(scenario, policy) summaries.
+
+    Per-job times to each target pool across every cell of the pair (jobs
+    that never reached a target contribute to the attainment denominator
+    but not to the mean time), mirroring how :func:`aggregate_rows` pools
+    per-job JCTs.  Rows are the dict/JSONL output of ``sweep --cosim``:
+    ``targets`` (list of floats), ``time_to_target`` (``{str(target):
+    {str(job_id): time-or-null}}``), ``final_accuracies``
+    (``{str(job_id): accuracy}``) and ``total_jobs``.
+    """
+    groups: Dict[Tuple[str, str], List[Mapping]] = {}
+    for row in rows:
+        try:
+            key = (str(row["scenario"]), str(row["policy"]))
+        except KeyError as exc:
+            raise ValueError(f"co-sim row missing required field: {exc}") from None
+        groups.setdefault(key, []).append(row)
+
+    out: Dict[Tuple[str, str], CoSimAggregateRow] = {}
+    for key in sorted(groups):
+        scenario, policy = key
+        cells = groups[key]
+        targets: Dict[float, List[float]] = {}
+        total_jobs = 0
+        finals: List[float] = []
+        for row in cells:
+            total_jobs += int(row.get("total_jobs", 0))
+            finals.extend(float(a) for a in row.get("final_accuracies", {}).values())
+            per_target = row.get("time_to_target", {})
+            for raw_target in row.get("targets", ()):
+                bucket = targets.setdefault(float(raw_target), [])
+                times = per_target.get(str(raw_target), {})
+                bucket.extend(float(t) for t in times.values() if t is not None)
+        summaries = []
+        for target in sorted(targets):
+            times = targets[target]
+            mean, low, high = mean_confidence_interval(times)
+            summaries.append(
+                TargetAggregate(
+                    target=target,
+                    attained_jobs=len(times),
+                    total_jobs=total_jobs,
+                    mean_time=mean,
+                    time_ci_low=low,
+                    time_ci_high=high,
+                )
+            )
+        out[key] = CoSimAggregateRow(
+            scenario=scenario,
+            policy=policy,
+            num_cells=len(cells),
+            total_jobs=total_jobs,
+            mean_final_accuracy=float(np.mean(finals)) if finals else 0.0,
+            targets=tuple(summaries),
+        )
+    return out
+
+
+def format_cosim_aggregates(
+    aggregates: Mapping[Tuple[str, str], CoSimAggregateRow],
+    title: str = "Time-to-accuracy (per scenario x policy x target)",
+) -> str:
+    """Plain-text table of co-sim aggregates, one row per target."""
+    headers = [
+        "scenario",
+        "policy",
+        "cells",
+        "target",
+        "attained",
+        "mean TTA (s)",
+        "95% CI (s)",
+        "final acc",
+    ]
+    rows = []
+    for _, agg in sorted(aggregates.items()):
+        for t in agg.targets:
+            rows.append(
+                [
+                    agg.scenario,
+                    agg.policy,
+                    agg.num_cells,
+                    t.target,
+                    f"{t.attained_jobs}/{t.total_jobs}",
+                    t.mean_time,
+                    f"[{t.time_ci_low:.0f}, {t.time_ci_high:.0f}]",
+                    agg.mean_final_accuracy,
+                ]
+            )
+    if not rows:
+        return title + "\n(no rows)"
+    return format_table(headers, rows, title=title)
+
+
 def format_aggregates(
     aggregates: Mapping[Tuple[str, str], AggregateRow],
     title: str = "Sweep summary (per scenario x policy)",
@@ -194,10 +333,14 @@ def format_aggregates(
 
 __all__ = [
     "AggregateRow",
+    "CoSimAggregateRow",
+    "TargetAggregate",
+    "aggregate_cosim_rows",
     "aggregate_jsonl",
     "aggregate_metrics",
     "aggregate_rows",
     "format_aggregates",
+    "format_cosim_aggregates",
     "load_jsonl",
     "metrics_row",
     "write_jsonl",

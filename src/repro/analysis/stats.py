@@ -9,8 +9,9 @@ mapping ``policy name -> SimulationMetrics`` into exactly those numbers.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -95,6 +96,34 @@ def geometric_mean(values: Iterable[float]) -> float:
     return float(np.exp(np.mean(np.log(vals))))
 
 
+def mean_confidence_interval(
+    values: Iterable[float], confidence: float = 0.95
+) -> Tuple[float, float, float]:
+    """``(mean, low, high)`` Student-t confidence interval of the mean.
+
+    Degenerate inputs collapse cleanly instead of raising: an empty sample
+    returns ``(0.0, 0.0, 0.0)``, and a single sample or a zero-variance
+    sample returns a zero-width interval at the mean (there is no spread
+    to infer an interval from).  Sweep aggregates lean on this when a
+    (scenario, policy, target) bucket ends up with 0 or 1 attaining jobs.
+    """
+    if not (0.0 < confidence < 1.0):
+        raise ValueError("confidence must be in (0, 1)")
+    vals = np.asarray([float(v) for v in values], dtype=float)
+    if vals.size == 0:
+        return (0.0, 0.0, 0.0)
+    mean = float(vals.mean())
+    if vals.size == 1:
+        return (mean, mean, mean)
+    sem = float(vals.std(ddof=1)) / math.sqrt(vals.size)
+    if sem == 0.0:
+        return (mean, mean, mean)
+    from scipy import stats as scipy_stats
+
+    half = float(scipy_stats.t.ppf((1.0 + confidence) / 2.0, vals.size - 1)) * sem
+    return (mean, mean - half, mean + half)
+
+
 def fairness_satisfaction(
     metrics: SimulationMetrics,
     solo_jcts: Mapping[int, float],
@@ -145,5 +174,6 @@ __all__ = [
     "jct_breakdown",
     "jct_speedup_by_category",
     "jct_speedup_by_demand_percentile",
+    "mean_confidence_interval",
     "summarize_run",
 ]

@@ -28,6 +28,7 @@ from .endtoend import (
     averaged_speedups,
     run_policies,
     run_policy,
+    run_policy_cosim,
     run_scenario,
     table1_average_jct,
     table2_demand_percentiles,
@@ -87,6 +88,7 @@ __all__ = [
     "run_all",
     "run_policies",
     "run_policy",
+    "run_policy_cosim",
     "run_scenario",
     "table1_average_jct",
     "table2_demand_percentiles",

@@ -42,6 +42,12 @@ SEED_STREAMS: Dict[str, int] = {
     "simulation": 3,
     "policy": 4,
     "scenario": 5,
+    # Federated co-simulation: seeds the synthetic dataset and the
+    # per-(client, round) training streams of :mod:`repro.cosim`.  All
+    # policies run against one experiment config share this stream, so
+    # cross-policy time-to-accuracy differences are attributable to the
+    # scheduler's participant sets alone.
+    "cosim": 6,
 }
 
 

@@ -27,6 +27,19 @@ Command line::
 
 ``--smoke`` runs a small 4-scenario × 2-seed × 1-policy matrix sized for CI;
 drop it (and pass ``--scenarios/--policies/--num-seeds``) for real sweeps.
+
+Co-simulation mode
+------------------
+
+``--cosim`` runs every cell as a federated co-simulation
+(:mod:`repro.cosim`): the FedAvg trainer sits inside the simulation loop,
+each round trains the clients the scheduler actually delivered, and rows
+additionally carry per-job time-to-target-accuracy, final accuracies and
+the run's decision/accuracy hashes.  ``--cosim --smoke`` runs a fixed
+2-scenario (``non_iid_contention``, ``flash_crowd``) × 2-policy
+(``random``, ``venn``) matrix; byte-identity across worker counts holds
+exactly as in plain mode (the per-cell co-sim is deterministic for any
+shard/worker layout).
 """
 
 from __future__ import annotations
@@ -43,8 +56,10 @@ from typing import Dict, List, Optional, Sequence, TextIO, Tuple
 import numpy as np
 
 from ..analysis.aggregate import (
+    aggregate_cosim_rows,
     aggregate_rows,
     format_aggregates,
+    format_cosim_aggregates,
     metrics_row,
     write_jsonl,
 )
@@ -54,8 +69,8 @@ from .config import ExperimentConfig, get_config
 from .endtoend import run_policy
 from .environment import Environment
 
-#: Matrix run by ``--smoke`` (and CI): the four beyond-paper scenarios,
-#: two seeds, the Venn scheduler — 8 cells.
+#: Matrix run by ``--smoke`` (and CI): the four original beyond-paper
+#: scenarios, two seeds, the Venn scheduler — 8 cells.
 SMOKE_SCENARIOS: Tuple[str, ...] = (
     "flash_crowd",
     "churn_storm",
@@ -64,6 +79,14 @@ SMOKE_SCENARIOS: Tuple[str, ...] = (
 )
 SMOKE_POLICIES: Tuple[str, ...] = ("venn",)
 SMOKE_NUM_SEEDS = 2
+
+#: Matrix run by ``--cosim --smoke`` (and the CI co-sim gate): the
+#: diversity-sensitive contention scenario plus a burst scenario, under a
+#: baseline and the Venn scheduler — time-to-accuracy rows for 2 policies
+#: × 2 scenarios at one seed.
+COSIM_SMOKE_SCENARIOS: Tuple[str, ...] = ("non_iid_contention", "flash_crowd")
+COSIM_SMOKE_POLICIES: Tuple[str, ...] = ("random", "venn")
+COSIM_SMOKE_NUM_SEEDS = 1
 
 #: JCT percentiles recorded per cell.
 ROW_PERCENTILES: Tuple[float, ...] = (50.0, 99.0)
@@ -191,8 +214,54 @@ def run_cell(cell: SweepCell, preset: str = "quick", smoke: bool = False) -> Dic
     return _metrics_row(cell, metrics, env)
 
 
-def _run_cell_task(args: Tuple[SweepCell, str, bool]) -> Dict:
-    cell, preset, smoke = args
+def run_cosim_cell(cell: SweepCell, preset: str = "quick", smoke: bool = False) -> Dict:
+    """Run one cell as a federated co-simulation and return its JSONL row.
+
+    The row is a superset of :func:`run_cell`'s (so
+    :func:`~repro.analysis.aggregate.aggregate_rows` still applies) plus
+    the time-to-accuracy payload consumed by
+    :func:`~repro.analysis.aggregate.aggregate_cosim_rows`.
+    """
+    # Imported lazily (like endtoend.run_policy_cosim) so plain sweeps
+    # never pay for the FL substrate.
+    from ..cosim import CoSimConfig, CoSimulation, smoke_cosim_config
+
+    spec = get_scenario(cell.scenario)
+    env = build_cell_environment(cell, preset=preset, smoke=smoke)
+    base_cfg = smoke_cosim_config() if smoke else CoSimConfig()
+    cosim_cfg = base_cfg.with_overrides(spec.cosim)
+    result = CoSimulation(
+        env,
+        cell.policy,
+        policy_kwargs=dict(spec.policy_kwargs.get(cell.policy, {})),
+        config=cosim_cfg,
+    ).run()
+    row = _metrics_row(cell, result.sim, env)
+    row.update({
+        "targets": [float(t) for t in result.targets],
+        "time_to_target": {
+            str(float(t)): {
+                str(job_id): time
+                for job_id, time in result.time_to_accuracy(t).items()
+            }
+            for t in result.targets
+        },
+        "final_accuracies": {
+            str(job_id): job.final_accuracy
+            for job_id, job in result.jobs.items()
+        },
+        "total_jobs": result.total_jobs,
+        "rounds_trained": sum(len(j.rounds) for j in result.jobs.values()),
+        "decision_hash": result.decision_hash,
+        "accuracy_hash": result.accuracy_hash,
+    })
+    return row
+
+
+def _run_cell_task(args: Tuple[SweepCell, str, bool, bool]) -> Dict:
+    cell, preset, smoke, cosim = args
+    if cosim:
+        return run_cosim_cell(cell, preset=preset, smoke=smoke)
     return run_cell(cell, preset=preset, smoke=smoke)
 
 
@@ -215,16 +284,19 @@ def run_sweep(
     workers: int = 1,
     out_path: Optional[str] = None,
     log: Optional[TextIO] = None,
+    cosim: bool = False,
 ) -> List[Dict]:
     """Run every cell (serially or over a worker pool) and return the rows.
 
     Rows come back in cell order regardless of scheduling; when ``out_path``
     is given they are also written there as JSONL (sorted keys, one row per
     line) so the bytes are reproducible for a fixed matrix and root seed.
+    ``cosim=True`` runs each cell through :func:`run_cosim_cell` instead of
+    :func:`run_cell`.
     """
     if workers <= 0:
         raise ValueError("workers must be positive")
-    tasks = [(cell, preset, smoke) for cell in cells]
+    tasks = [(cell, preset, smoke, cosim) for cell in cells]
     started = time.perf_counter()
     if workers == 1 or len(cells) <= 1:
         rows = [_run_cell_task(task) for task in tasks]
@@ -266,6 +338,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "venn) on a shrunken base config",
     )
     parser.add_argument(
+        "--cosim",
+        action="store_true",
+        help="run cells as federated co-simulations (time-to-accuracy rows); "
+        "with --smoke runs the fixed 2-scenario x 2-policy co-sim matrix",
+    )
+    parser.add_argument(
         "--scenarios",
         default=None,
         help="comma-separated scenario names (default: all registered)",
@@ -297,9 +375,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{name:18s} [{tags}] {spec.description}")
         return 0
 
-    if args.smoke:
-        scenarios: Sequence[str] = SMOKE_SCENARIOS
-        policies: Sequence[str] = SMOKE_POLICIES
+    if args.smoke and args.cosim:
+        scenarios: Sequence[str] = COSIM_SMOKE_SCENARIOS
+        policies: Sequence[str] = COSIM_SMOKE_POLICIES
+        num_seeds = COSIM_SMOKE_NUM_SEEDS
+    elif args.smoke:
+        scenarios = SMOKE_SCENARIOS
+        policies = SMOKE_POLICIES
         num_seeds = SMOKE_NUM_SEEDS
     else:
         scenarios = (
@@ -318,8 +400,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         workers=args.workers,
         out_path=args.out,
         log=sys.stderr,
+        cosim=args.cosim,
     )
     print(format_aggregates(aggregate_rows(rows)))
+    if args.cosim:
+        print(format_cosim_aggregates(aggregate_cosim_rows(rows)))
     if args.out:
         print(f"wrote {len(rows)} rows to {args.out}", file=sys.stderr)
     return 0
@@ -330,6 +415,9 @@ if __name__ == "__main__":  # pragma: no cover
 
 
 __all__ = [
+    "COSIM_SMOKE_NUM_SEEDS",
+    "COSIM_SMOKE_POLICIES",
+    "COSIM_SMOKE_SCENARIOS",
     "ROW_PERCENTILES",
     "SMOKE_NUM_SEEDS",
     "SMOKE_POLICIES",
@@ -339,6 +427,7 @@ __all__ = [
     "main",
     "plan_cells",
     "run_cell",
+    "run_cosim_cell",
     "run_sweep",
     "smoke_base_config",
 ]

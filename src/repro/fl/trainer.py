@@ -15,6 +15,23 @@ match the paper's two accuracy experiments:
   round-to-accuracy curve comes from the trainer; combining the two gives
   test accuracy as a function of wall-clock time.
   :func:`accuracy_over_time` performs the combination.
+
+Externally driven rounds (co-simulation)
+----------------------------------------
+
+:meth:`FederatedTrainer.run_external_round` trains a round over a
+participant set chosen by someone else — in practice the simulation
+engine's per-round reporting set (:mod:`repro.cosim`), so stragglers,
+deadline misses and scheduling-policy bias flow straight into model
+convergence instead of being stitched on after the fact.
+
+Externally driven rounds draw their local-SGD randomness from per-client
+streams keyed by ``(trainer seed, client_id, round_index)`` — the same
+keying discipline as the engine's per-device latency streams — so a
+client's draws depend only on the trainer seed and which round it trains
+in, never on which other clients participate, their iteration order, the
+engine's shard count or the sweep's worker count.  Same seed and same
+participant sets ⇒ byte-identical parameter trajectories.
 """
 
 from __future__ import annotations
@@ -81,6 +98,11 @@ class FederatedTrainer:
         self.dataset = dataset
         self.config = config or TrainerConfig()
         self._rng = np.random.default_rng(seed)
+        # Master entropy of the per-(client, round) streams used by
+        # externally driven rounds.  Normalising through a SeedSequence
+        # keeps the streams well-defined for seed=None too (random entropy,
+        # but still internally order-independent).
+        self._entropy = np.random.SeedSequence(seed).entropy
         if model_factory is None:
             model_factory = lambda: SoftmaxRegression(  # noqa: E731
                 dataset.num_features, dataset.num_classes
@@ -121,6 +143,68 @@ class FederatedTrainer:
             weights.append(float(len(shard)))
         new_params = fedavg_aggregate(updates, weights)
         self.model.set_parameters(new_params)
+        accuracy = self.model.accuracy(
+            self.dataset.test_features, self.dataset.test_labels
+        )
+        return accuracy, len(reporting)
+
+    # ------------------------------------------------------------------ #
+    # Externally driven rounds (co-simulation)
+    # ------------------------------------------------------------------ #
+    def client_rng(self, client_id: int, round_index: int) -> np.random.Generator:
+        """The dedicated generator of ``client_id``'s round-``round_index``
+        local training — a pure function of ``(trainer seed, client_id,
+        round_index)``, independent of every other client's draws."""
+        if client_id < 0 or round_index < 0:
+            raise ValueError("client_id and round_index must be non-negative")
+        return np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=self._entropy,
+                spawn_key=(int(client_id), int(round_index)),
+            )
+        )
+
+    def run_external_round(
+        self, round_index: int, participants: Sequence[int]
+    ) -> Tuple[float, int]:
+        """Run one FedAvg round over an externally chosen participant set.
+
+        ``participants`` is the round's *reporting set* — e.g. the device-
+        derived client ids the simulator saw report before the deadline —
+        so no further selection or report-fraction subsetting is applied:
+        whoever the scheduler delivered is exactly who trains.  Duplicates
+        collapse and iteration runs in ascending client id; combined with
+        :meth:`client_rng` this makes the round's result a pure function of
+        ``(trainer seed, round_index, set(participants))``.
+
+        Returns ``(test accuracy after the round, number of clients trained)``.
+        """
+        if round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        reporting = sorted({int(c) for c in participants})
+        if not reporting:
+            raise ValueError("participant set must not be empty")
+        unknown = [c for c in reporting if c not in self.dataset.clients]
+        if unknown:
+            raise ValueError(f"unknown client ids: {unknown[:5]}")
+        global_params = self.model.get_parameters()
+        updates: List[np.ndarray] = []
+        weights: List[float] = []
+        for cid in reporting:
+            shard = self.dataset.shard(cid)
+            local = self.model.clone()
+            local.set_parameters(global_params)
+            local.train_steps(
+                shard.features,
+                shard.labels,
+                lr=self.config.learning_rate,
+                epochs=self.config.local_epochs,
+                batch_size=self.config.batch_size,
+                rng=self.client_rng(cid, round_index),
+            )
+            updates.append(local.get_parameters())
+            weights.append(float(len(shard)))
+        self.model.set_parameters(fedavg_aggregate(updates, weights))
         accuracy = self.model.accuracy(
             self.dataset.test_features, self.dataset.test_labels
         )

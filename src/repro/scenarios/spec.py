@@ -79,6 +79,13 @@ class ScenarioSpec:
     #: Extra keyword arguments per policy name, merged into ``make_policy``
     #: calls (e.g. ``{"venn": {"num_tiers": 6}}`` for a tiering scenario).
     policy_kwargs: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    #: Overrides for the federated co-simulation layer, applied to
+    #: :class:`~repro.cosim.CoSimConfig` via ``with_overrides`` when the
+    #: scenario runs in co-sim mode (``sweep --cosim``); the special
+    #: ``"dataset"`` key nests :class:`~repro.fl.datasets.
+    #: FederatedDataConfig` overrides (e.g. a smaller ``dirichlet_alpha``
+    #: for harsher non-IID-ness).  Plain scheduling runs ignore it.
+    cosim: Mapping[str, object] = field(default_factory=dict)
     #: Free-form labels ("paper", "beyond-paper", ...) used for selection.
     tags: Tuple[str, ...] = ()
 

@@ -91,7 +91,16 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 import numpy as np
 
@@ -103,7 +112,7 @@ from ..traces.workloads import Workload
 from .device import DeviceRuntime, DeviceStatus
 from .dispatch import IdleDevicePool, PendingRequestPool, dispatch_pools
 from .events import Event, EventQueue, EventType
-from .job import JobRuntime
+from .job import JobRuntime, RoundCompletion
 from .latency import LatencyConfig, ResponseLatencyModel
 from .metrics import SimulationMetrics, collect_job_metrics
 from .shard import (
@@ -187,9 +196,19 @@ class Simulator:
         policy: SchedulingPolicy,
         config: Optional[SimulationConfig] = None,
         categories: Optional[Mapping[int, str]] = None,
+        round_callback: Optional[Callable[[RoundCompletion], None]] = None,
     ) -> None:
         self.config = config or SimulationConfig()
         self.policy = policy
+        #: Invoked by the coordinator whenever a job's round completes, with
+        #: a :class:`~repro.sim.job.RoundCompletion` carrying the round's
+        #: reporting set.  Fires in event order on both the single-queue and
+        #: the sharded engine (``_maybe_complete_request`` always runs on
+        #: the coordinator), so for a fixed seed the callback sequence is
+        #: bit-identical for any shard count.  The callback must not mutate
+        #: simulation state; it exists so consumers like the co-simulation
+        #: trainer (:mod:`repro.cosim`) can observe rounds as they complete.
+        self._round_callback = round_callback
         #: The run's policy-facing random generator; unseeded policies adopt
         #: it via ``bind_rng``.  The latency model no longer shares it: it
         #: draws from per-device streams keyed by global device id, so a
@@ -804,6 +823,21 @@ class Simulator:
         self._pending.remove(request.job_id)
         self.policy.on_request_closed(request, self.now)
         finished = job.complete_round(self.now)
+        if self._round_callback is not None:
+            # The request knows which round it was opened for; index by that
+            # rather than by complete_round's cursor arithmetic.
+            record = job.rounds[request.round_index]
+            self._round_callback(
+                RoundCompletion(
+                    job_id=job.job_id,
+                    round_index=record.round_index,
+                    completion_time=self.now,
+                    participants=record.participants,
+                    num_assigned=len(request.assigned),
+                    aborted_attempts=record.aborted_attempts,
+                    job_finished=finished,
+                )
+            )
         if finished:
             self._unfinished_jobs -= 1
             self.policy.on_job_finished(job.job_id, self.now)
@@ -946,9 +980,13 @@ def run_simulation(
     policy: SchedulingPolicy,
     config: Optional[SimulationConfig] = None,
     categories: Optional[Mapping[int, str]] = None,
+    round_callback: Optional[Callable[[RoundCompletion], None]] = None,
 ) -> SimulationMetrics:
     """Convenience wrapper: build a :class:`Simulator` and run it."""
-    sim = Simulator(devices, availability, workload, policy, config, categories)
+    sim = Simulator(
+        devices, availability, workload, policy, config, categories,
+        round_callback=round_callback,
+    )
     return sim.run()
 
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..core.types import JobSpec, JobState, RequestState, ResourceRequest
 
@@ -20,6 +20,37 @@ class RoundRecord:
     response_collection_time: Optional[float] = None
     duration: Optional[float] = None
     completed: bool = False
+    #: Sorted device ids that reported back before the successful attempt
+    #: closed — the round's *reporting set*.  Stragglers that were assigned
+    #: but had not responded when the round completed are absent, which is
+    #: exactly what makes the set the right input for co-simulated federated
+    #: training (:mod:`repro.cosim`).
+    participants: Tuple[int, ...] = ()
+    #: Absolute simulation time at which the round completed.
+    completion_time: Optional[float] = None
+
+
+@dataclass(frozen=True, slots=True)
+class RoundCompletion:
+    """Event handed to the engine's round callback when a round succeeds.
+
+    Emitted by the coordinator on both the single-queue and the sharded
+    engine, in event order, with identical content for any shard count —
+    the callback contract the co-simulation layer builds on.
+    """
+
+    job_id: int
+    round_index: int
+    completion_time: float
+    #: Sorted device ids that reported back (the reporting set).
+    participants: Tuple[int, ...]
+    #: Devices assigned to the round's successful attempt (reporting set
+    #: plus stragglers whose responses had not arrived at completion).
+    num_assigned: int
+    #: Aborted attempts this round burned before succeeding.
+    aborted_attempts: int
+    #: Whether this was the job's final round.
+    job_finished: bool
 
 
 @dataclass(slots=True)
@@ -100,6 +131,8 @@ class JobRuntime:
         record.scheduling_delay = request.scheduling_delay
         record.response_collection_time = request.response_collection_time
         record.duration = request.duration
+        record.participants = tuple(sorted(request.responses))
+        record.completion_time = now
         self.open_request = None
         self.attempt = 0
         self.current_round += 1
@@ -129,4 +162,4 @@ class JobRuntime:
             self.state = JobState.CANCELLED
 
 
-__all__ = ["JobRuntime", "RoundRecord"]
+__all__ = ["JobRuntime", "RoundCompletion", "RoundRecord"]

@@ -33,6 +33,13 @@ class JobMetrics:
     #: Per-completed-round scheduling delays / response collection times.
     scheduling_delays: List[float] = field(default_factory=list)
     response_times: List[float] = field(default_factory=list)
+    #: Per-completed-round reporting sets (sorted device ids that reported
+    #: before the round closed) and absolute completion times, in round
+    #: order.  These are what couple the simulator to federated training:
+    #: the co-simulation layer trains exactly these participants and places
+    #: the resulting accuracy at exactly these times.
+    round_participants: List[Sequence[int]] = field(default_factory=list)
+    round_completion_times: List[float] = field(default_factory=list)
     aborted_rounds: int = 0
     rounds_completed: int = 0
     #: Per-round deadline of the job's spec; 0 means unknown (job excluded
@@ -304,6 +311,12 @@ def collect_job_metrics(
         for r in runtime.rounds
         if r.completed and r.response_collection_time is not None
     ]
+    participants = [list(r.participants) for r in runtime.rounds if r.completed]
+    completions = [
+        r.completion_time
+        for r in runtime.rounds
+        if r.completed and r.completion_time is not None
+    ]
     aborted = sum(r.aborted_attempts for r in runtime.rounds)
     # Count aborted attempts of the in-flight round as well.
     aborted += runtime.attempt
@@ -319,6 +332,8 @@ def collect_job_metrics(
         jct=runtime.jct,
         scheduling_delays=sched,
         response_times=resp,
+        round_participants=participants,
+        round_completion_times=completions,
         aborted_rounds=aborted,
         rounds_completed=runtime.rounds_completed,
         round_deadline=spec.round_deadline,

@@ -1,0 +1,51 @@
+"""Shared micro-config helpers for the experiment-driver tests.
+
+The figure/table drivers default to presets sized for human runs; every
+test here shrinks them to a population that simulates in well under a
+second so whole driver sweeps stay in CI time budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.sim.engine import SimulationConfig
+from repro.traces.device_trace import DiurnalConfig
+from repro.traces.workloads import WorkloadConfig
+
+
+def make_micro_config(seed: int = 7, num_jobs: int = 4) -> ExperimentConfig:
+    """A config small enough that multi-run driver sweeps take seconds."""
+    horizon = 6 * 3600.0
+    return ExperimentConfig(
+        name="micro",
+        seed=seed,
+        num_devices=150,
+        num_jobs=num_jobs,
+        horizon=horizon,
+        workload=WorkloadConfig(
+            rounds_scale=0.004,
+            demand_scale=0.05,
+            max_rounds=2,
+            max_demand=8,
+            min_rounds=1,
+            min_demand=2,
+            base_task_duration=30.0,
+            mean_interarrival=400.0,
+            deadline_min=1200.0,
+            deadline_max=2400.0,
+        ),
+        availability=DiurnalConfig(horizon=horizon),
+        simulation=SimulationConfig(horizon=horizon),
+    )
+
+
+@pytest.fixture
+def micro_config():
+    return make_micro_config()
+
+
+@pytest.fixture
+def micro_config_factory():
+    return make_micro_config

@@ -1,0 +1,65 @@
+"""First dedicated tests for :mod:`repro.experiments.ablation`.
+
+Micro-config smoke runs of the Figure-12/13/14 sweeps plus schema and
+sanity assertions on the analytic solo-JCT estimator they rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.ablation import (
+    estimate_solo_jct,
+    figure12_num_jobs,
+    figure13_num_tiers,
+    figure14_fairness_knob,
+)
+from repro.experiments.environment import build_environment
+
+
+class TestSoloJctEstimate:
+    def test_positive_and_scales_with_rounds(self, micro_config):
+        env = build_environment(micro_config)
+        job = env.workload.jobs[0]
+        solo = estimate_solo_jct(job, env)
+        assert solo > 0.0
+        doubled = replace(job, num_rounds=job.num_rounds * 2)
+        assert estimate_solo_jct(doubled, env) == pytest.approx(2.0 * solo)
+
+    def test_larger_demand_never_cheaper(self, micro_config):
+        env = build_environment(micro_config)
+        job = env.workload.jobs[0]
+        bigger = replace(job, demand_per_round=job.demand_per_round * 3)
+        assert estimate_solo_jct(bigger, env) > estimate_solo_jct(job, env)
+
+
+class TestFigure12:
+    def test_speedup_per_job_count(self, micro_config):
+        out = figure12_num_jobs(
+            micro_config, job_counts=(2, 3), policies=("venn",)
+        )
+        assert set(out) == {2, 3}
+        for speedups in out.values():
+            assert set(speedups) == {"venn"}
+            assert speedups["venn"] > 0.0
+
+
+class TestFigure13:
+    def test_speedup_per_tier_count(self, micro_config):
+        out = figure13_num_tiers(micro_config, tier_counts=(1, 2), scenario="low")
+        assert set(out) == {1, 2}
+        for speedup in out.values():
+            assert speedup > 0.0
+
+
+class TestFigure14:
+    def test_fairness_knob_schema(self, micro_config):
+        out = figure14_fairness_knob(
+            micro_config, epsilons=(0.0, 2.0), scenario="even"
+        )
+        assert set(out) == {0.0, 2.0}
+        for speedup, fairness in out.values():
+            assert speedup > 0.0
+            assert 0.0 <= fairness <= 1.0

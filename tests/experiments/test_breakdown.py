@@ -1,0 +1,60 @@
+"""First dedicated tests for :mod:`repro.experiments.breakdown`.
+
+Micro-config smoke runs of the Figure-5 / Figure-11 drivers plus schema
+assertions, mirroring the runner CLI tests but exercising the functions
+directly (the CLI only checks that something prints).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.breakdown import (
+    FIGURE11_POLICIES,
+    figure11_component_breakdown,
+    figure5_jct_breakdown,
+)
+
+
+class TestFigure5:
+    def test_breakdown_rows_per_contention_level(self, micro_config):
+        out = figure5_jct_breakdown(
+            micro_config, job_counts=(2, 4), policy="random"
+        )
+        assert set(out) == {2, 4}
+        for n, row in out.items():
+            assert row.label == f"{n} jobs"
+            assert row.scheduling_delay >= 0.0
+            assert row.response_time >= 0.0
+            assert row.total == pytest.approx(
+                row.scheduling_delay + row.response_time
+            )
+
+    def test_some_work_actually_happened(self, micro_config):
+        out = figure5_jct_breakdown(
+            micro_config, job_counts=(3,), policy="random"
+        )
+        assert out[3].total > 0.0
+
+
+class TestFigure11:
+    def test_component_breakdown_schema(self, micro_config):
+        out = figure11_component_breakdown(
+            micro_config,
+            scenarios=("low",),
+            policies=("random", "venn"),
+        )
+        assert set(out) == {"low"}
+        assert set(out["low"]) == {"random", "venn"}
+        # Speed-up over random of random itself is exactly 1.
+        assert out["low"]["random"] == pytest.approx(1.0)
+        assert out["low"]["venn"] > 0.0
+
+    def test_default_policy_list_is_the_five_paper_bars(self):
+        assert FIGURE11_POLICIES == (
+            "random",
+            "fifo",
+            "venn_wo_sched",
+            "venn_wo_match",
+            "venn",
+        )

@@ -1,0 +1,99 @@
+"""First dedicated tests for :mod:`repro.experiments.figures`.
+
+Micro-scale smoke runs of every characterisation figure plus output-schema
+assertions — previously these drivers were only exercised indirectly
+through the runner CLI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import (
+    build_loaded_scheduler,
+    figure10_overhead,
+    figure2a_availability_curve,
+    figure2b_capacity_heterogeneity,
+    figure3_toy_example,
+    figure8a_category_shares,
+    figure8b_job_demand_stats,
+)
+from repro.traces.capacity import MODEL_REQUIREMENTS
+from repro.traces.device_trace import DiurnalConfig
+
+
+class TestFigure2:
+    def test_availability_curve_shape_and_range(self):
+        times, fractions = figure2a_availability_curve(
+            num_devices=120,
+            config=DiurnalConfig(horizon=24 * 3600.0),
+            seed=3,
+            resolution=3600.0,
+        )
+        assert len(times) == len(fractions)
+        assert len(times) > 0
+        assert (fractions >= 0.0).all() and (fractions <= 1.0).all()
+        # A diurnal trace is not flat: some availability variation exists.
+        assert fractions.max() > fractions.min()
+
+    def test_capacity_heterogeneity_covers_every_model(self):
+        shares = figure2b_capacity_heterogeneity(num_devices=300, seed=3)
+        assert set(shares) == set(MODEL_REQUIREMENTS)
+        for model, share in shares.items():
+            assert 0.0 <= share <= 1.0, model
+        # The larger models must not qualify more devices than the smaller
+        # ones do in aggregate — shares differ across models.
+        assert len(set(shares.values())) > 1
+
+    def test_determinism(self):
+        a = figure2b_capacity_heterogeneity(num_devices=200, seed=9)
+        b = figure2b_capacity_heterogeneity(num_devices=200, seed=9)
+        assert a == b
+
+
+class TestFigure8:
+    def test_category_shares_are_probabilities(self):
+        shares = figure8a_category_shares(num_devices=300, seed=3)
+        assert shares  # at least one category
+        for share in shares.values():
+            assert 0.0 <= share <= 1.0
+
+    def test_job_demand_stats_schema(self):
+        stats = figure8b_job_demand_stats(num_jobs=60, seed=3)
+        expected = {
+            "mean_rounds",
+            "max_rounds",
+            "mean_participants",
+            "max_participants",
+            "mean_total_demand",
+        }
+        assert set(stats) == expected
+        assert stats["max_rounds"] >= stats["mean_rounds"] > 0
+        assert stats["max_participants"] >= stats["mean_participants"] > 0
+        assert stats["mean_total_demand"] > 0
+
+
+class TestFigure3Toy:
+    def test_policy_ordering_matches_paper(self):
+        """Random ≥ SRSF ≥ Venn ≥ optimal on the toy instance: the exact
+        qualitative ordering Figure 3 reports (Venn matches the optimum)."""
+        result = figure3_toy_example()
+        assert result.optimal_jct <= result.venn_jct + 1e-9
+        assert result.venn_jct <= result.srsf_jct + 1e-9
+        assert result.srsf_jct <= result.random_jct + 1e-9
+        # Venn's order is optimal on this instance.
+        assert result.venn_jct == pytest.approx(result.optimal_jct, rel=1e-6)
+
+
+class TestFigure10:
+    def test_overhead_grid_schema(self):
+        out = figure10_overhead(
+            job_counts=(20,), group_counts=(5,), repeats=1
+        )
+        assert set(out) == {(20, 5)}
+        assert out[(20, 5)] >= 0.0
+
+    def test_loaded_scheduler_carries_requested_jobs(self):
+        scheduler = build_loaded_scheduler(num_jobs=12, num_groups=4)
+        plan = scheduler.rebuild_plan(now=10.0)
+        assert sum(len(v) for v in plan.job_order.values()) == 12

@@ -60,6 +60,13 @@ class AggregateRow:
     error_rate: float
     completion_rate: float
     total_aborts: int
+    #: Round-completion-time (FCT analogue) statistics, pooled over every
+    #: completed round of every cell; 0.0 when no round completed (or the
+    #: rows predate the ``round_durations`` field).
+    num_rounds: int = 0
+    mean_rct: float = 0.0
+    p50_rct: float = 0.0
+    p99_rct: float = 0.0
 
 
 def aggregate_rows(
@@ -94,6 +101,16 @@ def aggregate_rows(
             p99 = float(np.percentile(jcts, 99.0))
         else:
             mean_jct = p50 = p99 = 0.0
+        rcts = np.array(
+            [d for row in cells for d in row.get("round_durations", ())],
+            dtype=float,
+        )
+        if rcts.size:
+            mean_rct = float(rcts.mean())
+            p50_rct = float(np.percentile(rcts, 50.0))
+            p99_rct = float(np.percentile(rcts, 99.0))
+        else:
+            mean_rct = p50_rct = p99_rct = 0.0
         out[key] = AggregateRow(
             scenario=scenario,
             policy=policy,
@@ -110,6 +127,10 @@ def aggregate_rows(
                 np.mean([row.get("completion_rate", 0.0) for row in cells])
             ),
             total_aborts=int(sum(row.get("total_aborts", 0) for row in cells)),
+            num_rounds=int(rcts.size),
+            mean_rct=mean_rct,
+            p50_rct=p50_rct,
+            p99_rct=p99_rct,
         )
     return out
 
@@ -134,6 +155,7 @@ def metrics_row(scenario: str, policy: str, metrics) -> Dict:
         "scenario": scenario,
         "policy": policy,
         "job_jcts": sorted(metrics.job_jcts().values()),
+        "round_durations": sorted(metrics.round_durations()),
         "sla_attainment": metrics.sla_attainment(),
         "error_rate": metrics.error_rate,
         "completion_rate": metrics.completion_rate,
@@ -307,6 +329,8 @@ def format_aggregates(
         "mean JCT (s)",
         "p50 JCT (s)",
         "p99 JCT (s)",
+        "p50 RCT (s)",
+        "p99 RCT (s)",
         "SLA",
         "err rate",
         "aborts",
@@ -320,6 +344,8 @@ def format_aggregates(
             agg.mean_jct,
             agg.p50_jct,
             agg.p99_jct,
+            agg.p50_rct,
+            agg.p99_rct,
             agg.sla_attainment,
             agg.error_rate,
             agg.total_aborts,

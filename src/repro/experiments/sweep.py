@@ -190,6 +190,9 @@ def _metrics_row(cell: SweepCell, metrics: SimulationMetrics, env: Environment) 
         "average_jct": metrics.average_jct,
         "p50_jct": percentiles[50.0],
         "p99_jct": percentiles[99.0],
+        "average_round_duration": metrics.average_round_duration,
+        "p50_round_duration": metrics.round_duration_percentile(50.0),
+        "p99_round_duration": metrics.round_duration_percentile(99.0),
         "average_scheduling_delay": metrics.average_scheduling_delay,
         "average_response_time": metrics.average_response_time,
         "total_checkins": metrics.total_checkins,

@@ -8,7 +8,7 @@ Importing the package registers the built-in scenarios, so
 works without further setup.  See ``docs/SCENARIOS.md``.
 """
 
-from .library import BEYOND_PAPER_SCENARIOS
+from .library import BEYOND_PAPER_SCENARIOS, NETWORK_SCENARIOS
 from .registry import (
     all_scenarios,
     get_scenario,
@@ -25,23 +25,32 @@ from .spec import (
 from .transforms import (
     DEFAULT_TIERS,
     assign_priority_tiers,
+    chain_availability_transforms,
+    chain_workload_transforms,
     compress_arrivals,
     inject_churn_storms,
+    regional_outage,
+    storm_windows,
 )
 
 __all__ = [
     "AvailabilityTransform",
     "BEYOND_PAPER_SCENARIOS",
     "DEFAULT_TIERS",
+    "NETWORK_SCENARIOS",
     "ScenarioSpec",
     "WorkloadTransform",
     "all_scenarios",
     "assign_priority_tiers",
+    "chain_availability_transforms",
+    "chain_workload_transforms",
     "compress_arrivals",
     "get_scenario",
     "inject_churn_storms",
+    "regional_outage",
     "register_scenario",
     "scenario_names",
+    "storm_windows",
     "unregister_scenario",
     "validate_environment",
 ]

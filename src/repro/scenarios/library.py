@@ -1,6 +1,6 @@
 """Built-in scenario library.
 
-Two families are registered on import:
+Three families are registered on import:
 
 * the **paper** scenarios — the five demand scenarios of §5.1 and the four
   category-biased workloads of §5.4, expressed as pure workload-config
@@ -23,7 +23,12 @@ Two families are registered on import:
     exactly when the co-simulated federated data is most non-IID (the
     spec's ``cosim`` overrides sharpen the Dirichlet label skew) — the
     client-diversity effect of the paper's Figure-4 contention study, now
-    measurable as time-to-accuracy per policy.
+    measurable as time-to-accuracy per policy;
+
+* four **network-degradation** scenarios exercising the supply/network axis
+  (lossy retried uplinks, periodic link flaps, a regional
+  partition-and-heal, static link-speed tiers) — judged primarily on the
+  round-completion-time (FCT-analogue) distribution rather than mean JCT.
 
 See ``docs/SCENARIOS.md`` for knob-by-knob descriptions and for how to add a
 scenario of your own.
@@ -40,6 +45,7 @@ from .transforms import (
     assign_priority_tiers,
     compress_arrivals,
     inject_churn_storms,
+    regional_outage,
 )
 
 #: Names of the beyond-paper scenarios, in doc order.
@@ -49,6 +55,14 @@ BEYOND_PAPER_SCENARIOS = (
     "straggler_heavy",
     "multi_tenant",
     "non_iid_contention",
+)
+
+#: Names of the network-degradation scenarios, in doc order.
+NETWORK_SCENARIOS = (
+    "lossy_uplink",
+    "link_flaps",
+    "regional_outage",
+    "tiered_links",
 )
 
 
@@ -162,8 +176,82 @@ def _register_beyond_paper_scenarios() -> None:
     )
 
 
+def _register_network_scenarios() -> None:
+    register_scenario(
+        ScenarioSpec(
+            name="lossy_uplink",
+            description=(
+                "12% uplink loss on every report with up to 3 retries — each "
+                "lost attempt re-pays the transfer time, and a report that "
+                "exhausts its retries counts as a dropout; the round-"
+                "completion-time (RCT) tail stretches long before mean JCT "
+                "moves"
+            ),
+            latency={"loss_rate": 0.12, "max_retries": 3, "retry_backoff": 1.0},
+            tags=("beyond-paper", "network"),
+        )
+    )
+    register_scenario(
+        ScenarioSpec(
+            name="link_flaps",
+            description=(
+                "periodic link flaps: every 4 hours the uplink degrades for "
+                "20 minutes to a 60% loss rate (on top of a 2% baseline) — "
+                "rounds unlucky enough to straddle a flap window retry their "
+                "transfers or drop out in bursts"
+            ),
+            latency={
+                "loss_rate": 0.02,
+                "flap_period": 4 * 3600.0,
+                "flap_duration": 1200.0,
+                "flap_loss_rate": 0.6,
+                "max_retries": 3,
+            },
+            tags=("beyond-paper", "network"),
+        )
+    )
+    register_scenario(
+        ScenarioSpec(
+            name="regional_outage",
+            description=(
+                "30% of the device population is partitioned off the network "
+                "for 2 hours starting at 45% of the horizon; when the "
+                "partition heals the whole region re-checks in at once — a "
+                "synchronized thundering herd the planner must absorb"
+            ),
+            availability_transform=partial(
+                regional_outage,
+                region_fraction=0.3,
+                outage_start=0.45,
+                outage_duration=7200.0,
+            ),
+            tags=("beyond-paper", "network"),
+        )
+    )
+    register_scenario(
+        ScenarioSpec(
+            name="tiered_links",
+            description=(
+                "fleet split into fiber/broadband/cellular link tiers "
+                "(15/55/30% of devices, 0.35x/1.0x/2.6x transfer time) by a "
+                "static per-device hash — comm time heterogeneity without "
+                "touching compute capacity"
+            ),
+            latency={
+                "link_tiers": (
+                    ("fiber", 0.15, 0.35),
+                    ("broadband", 0.55, 1.0),
+                    ("cellular", 0.30, 2.6),
+                ),
+            },
+            tags=("beyond-paper", "network"),
+        )
+    )
+
+
 _register_paper_scenarios()
 _register_beyond_paper_scenarios()
+_register_network_scenarios()
 
 
-__all__ = ["BEYOND_PAPER_SCENARIOS"]
+__all__ = ["BEYOND_PAPER_SCENARIOS", "NETWORK_SCENARIOS"]

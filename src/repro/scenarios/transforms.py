@@ -40,6 +40,8 @@ def compress_arrivals(
     ``burst_window``-second window starting at ``burst_at × horizon``.
     Non-burst jobs keep their Poisson arrival times, so the scenario layers a
     flash crowd *on top of* the background process instead of replacing it.
+    Burst arrivals never leave the horizon: the window is clamped to the
+    remaining ``horizon - start``, however small that is.
     """
     if not (0.0 < burst_fraction <= 1.0):
         raise ValueError("burst_fraction must be in (0, 1]")
@@ -48,7 +50,11 @@ def compress_arrivals(
     if burst_window <= 0:
         raise ValueError("burst_window must be positive")
     start = burst_at * config.horizon
-    window = min(burst_window, max(config.horizon - start, 1.0))
+    # Clamp to the remaining horizon with no floor: the old
+    # ``max(horizon - start, 1.0)`` floor let a late burst (burst_at → 1)
+    # redraw arrivals past the horizon, violating the documented
+    # "arrivals inside the horizon" invariant.
+    window = min(burst_window, config.horizon - start)
     jobs = []
     for job in workload.jobs:
         if rng.random() < burst_fraction:
@@ -65,6 +71,67 @@ def compress_arrivals(
     )
 
 
+def storm_windows(
+    horizon: float, num_storms: int, storm_duration: float
+) -> Tuple[Tuple[float, float], ...]:
+    """Evenly spaced, *disjoint* storm windows across ``horizon``.
+
+    Window ``i`` is centred at ``horizon × (i + 1) / (num_storms + 1)`` and
+    clipped to the horizon.  When ``num_storms × storm_duration`` exceeds
+    the inter-centre spacing the raw windows overlap; overlapping (or
+    touching) windows are coalesced into one, so callers always see a
+    sorted tuple of non-overlapping ``(start, end)`` intervals.  Without
+    the merge, a later window re-truncates sessions an earlier window
+    already resumed at its end, producing spurious zero-length-progress
+    check-ins right at storm boundaries.
+    """
+    if num_storms <= 0:
+        raise ValueError("num_storms must be positive")
+    if storm_duration <= 0:
+        raise ValueError("storm_duration must be positive")
+    raw = []
+    for i in range(num_storms):
+        centre = horizon * (i + 1) / (num_storms + 1)
+        start = max(0.0, centre - storm_duration / 2.0)
+        end = min(horizon, start + storm_duration)
+        if end > start:
+            raw.append((start, end))
+    merged: list = []
+    for start, end in raw:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return tuple(merged)
+
+
+def _clip_sessions(
+    sessions: Sequence[AvailabilitySession],
+    affected: frozenset,
+    window_start: float,
+    window_end: float,
+) -> list:
+    """Remove ``[window_start, window_end)`` from the affected devices'
+    sessions: a session spanning the window is truncated at its start and
+    resumes (a fresh check-in) at its end."""
+    survivors = []
+    for s in sessions:
+        if (
+            s.device_id not in affected
+            or s.end <= window_start
+            or s.start >= window_end
+        ):
+            survivors.append(s)
+            continue
+        if s.start < window_start:
+            survivors.append(
+                AvailabilitySession(s.device_id, s.start, window_start)
+            )
+        if s.end > window_end:
+            survivors.append(AvailabilitySession(s.device_id, window_end, s.end))
+    return survivors
+
+
 def inject_churn_storms(
     trace: DeviceAvailabilityTrace,
     rng: np.random.Generator,
@@ -77,50 +144,96 @@ def inject_churn_storms(
     """Churn storm: correlated mass dropouts at fixed points in the horizon.
 
     ``num_storms`` windows of ``storm_duration`` seconds are spaced evenly
-    across the horizon.  During each window every device is affected
+    across the horizon (overlapping windows coalesce — see
+    :func:`storm_windows`).  During each window every device is affected
     independently with probability ``dropout_fraction``: its sessions are
     truncated at the storm's start and resume (as a fresh session, i.e. a new
     check-in) at the storm's end.  Devices already offline are unaffected —
     the storm models a push gone wrong / network partition, not a blackout of
     the whole population.
     """
-    if num_storms <= 0:
-        raise ValueError("num_storms must be positive")
-    if storm_duration <= 0:
-        raise ValueError("storm_duration must be positive")
     if not (0.0 < dropout_fraction <= 1.0):
         raise ValueError("dropout_fraction must be in (0, 1]")
     horizon = trace.horizon
-    windows = []
-    for i in range(num_storms):
-        centre = horizon * (i + 1) / (num_storms + 1)
-        start = max(0.0, centre - storm_duration / 2.0)
-        end = min(horizon, start + storm_duration)
-        if end > start:
-            windows.append((start, end))
+    windows = storm_windows(horizon, num_storms, storm_duration)
     sessions = list(trace.sessions)
     device_ids = sorted({s.device_id for s in sessions})
     for storm_start, storm_end in windows:
-        affected = {
+        affected = frozenset(
             d for d in device_ids if rng.random() < dropout_fraction
-        }
-        survivors = []
-        for s in sessions:
-            if (
-                s.device_id not in affected
-                or s.end <= storm_start
-                or s.start >= storm_end
-            ):
-                survivors.append(s)
-                continue
-            if s.start < storm_start:
-                survivors.append(
-                    AvailabilitySession(s.device_id, s.start, storm_start)
-                )
-            if s.end > storm_end:
-                survivors.append(AvailabilitySession(s.device_id, storm_end, s.end))
-        sessions = survivors
+        )
+        sessions = _clip_sessions(sessions, affected, storm_start, storm_end)
     return DeviceAvailabilityTrace(horizon=horizon, sessions=sessions)
+
+
+def regional_outage(
+    trace: DeviceAvailabilityTrace,
+    rng: np.random.Generator,
+    config: ExperimentConfig,
+    *,
+    region_fraction: float = 0.3,
+    outage_start: float = 0.45,
+    outage_duration: float = 7200.0,
+) -> DeviceAvailabilityTrace:
+    """Regional outage: partition one region off the network, then heal.
+
+    A random ``region_fraction`` of the device population (one draw per
+    device, in device-id order) forms the "region".  From
+    ``outage_start × horizon`` the region is partitioned away — its sessions
+    are truncated at the outage start — and when the partition heals
+    ``outage_duration`` seconds later every surviving session resumes as a
+    fresh check-in.  Devices outside the region never notice.  The healing
+    edge is the interesting part for a scheduler: a synchronized thundering
+    herd of check-ins from an entire region at once.
+    """
+    if not (0.0 < region_fraction <= 1.0):
+        raise ValueError("region_fraction must be in (0, 1]")
+    if not (0.0 <= outage_start < 1.0):
+        raise ValueError("outage_start must be in [0, 1)")
+    if outage_duration <= 0:
+        raise ValueError("outage_duration must be positive")
+    horizon = trace.horizon
+    start = outage_start * horizon
+    end = min(horizon, start + outage_duration)
+    sessions = list(trace.sessions)
+    device_ids = sorted({s.device_id for s in sessions})
+    region = frozenset(d for d in device_ids if rng.random() < region_fraction)
+    if end > start:
+        sessions = _clip_sessions(sessions, region, start, end)
+    return DeviceAvailabilityTrace(horizon=horizon, sessions=sessions)
+
+
+def chain_availability_transforms(
+    trace: DeviceAvailabilityTrace,
+    rng: np.random.Generator,
+    config: ExperimentConfig,
+    *,
+    transforms: Sequence,
+) -> DeviceAvailabilityTrace:
+    """Apply several availability transforms in sequence (fuzzer helper).
+
+    ``ScenarioSpec`` holds a single ``availability_transform`` slot; the
+    fuzzer composes stacked transforms by binding this with
+    ``partial(chain_availability_transforms, transforms=(...))`` — a
+    module-level function over module-level partials, so the composition
+    stays picklable for sweep workers.
+    """
+    for transform in transforms:
+        trace = transform(trace, rng, config)
+    return trace
+
+
+def chain_workload_transforms(
+    workload: Workload,
+    rng: np.random.Generator,
+    config: ExperimentConfig,
+    *,
+    transforms: Sequence,
+) -> Workload:
+    """Apply several workload transforms in sequence (fuzzer helper)."""
+    for transform in transforms:
+        workload = transform(workload, rng, config)
+    return workload
 
 
 #: ``(tier name, population fraction, round-deadline scale)`` triples.  Gold
@@ -179,6 +292,10 @@ def assign_priority_tiers(
 __all__ = [
     "DEFAULT_TIERS",
     "assign_priority_tiers",
+    "chain_availability_transforms",
+    "chain_workload_transforms",
     "compress_arrivals",
     "inject_churn_storms",
+    "regional_outage",
+    "storm_windows",
 ]

@@ -886,8 +886,9 @@ class Simulator:
         device.start_task(job.job_id, request.request_id, self.now)
         self._note_not_idle(device.device_id)
 
-        duration = self.latency.sample_duration(job.spec, device.profile)
-        dropped = self.latency.sample_failure(device.profile)
+        duration, dropped = self.latency.sample_outcome(
+            job.spec, device.profile, now=self.now
+        )
         finishes_in_session = self.now + duration <= device.session_end
         success = (not dropped) and finishes_in_session
         if success:

@@ -38,13 +38,40 @@ lands on a *distinct* device, so per-device generator objects would add
 per-device state beyond a draw counter.  The master entropy is still
 derived through :class:`numpy.random.SeedSequence`, so a config seed keys
 the whole family the same way the rest of the repo derives streams.
+
+Network-degradation layer
+-------------------------
+
+On top of the compute/comm model, :class:`LatencyConfig` carries a
+*network-condition* layer (all off by default):
+
+* **lossy uplink** (``loss_rate``, ``max_retries``, ``retry_backoff``):
+  each report upload is a sequence of transfer attempts; an attempt is lost
+  with the effective loss probability, every lost attempt inflates the
+  communication time by ``retry_backoff ×`` the link's transfer time, and a
+  report whose ``1 + max_retries`` attempts are all lost never arrives — a
+  *failure on loss*, folded into the dropout outcome;
+* **link flaps** (``flap_period``, ``flap_duration``, ``flap_loss_rate``):
+  periodic windows during which the loss rate is elevated by
+  ``flap_loss_rate`` — window membership is evaluated at assignment time;
+* **link-speed tiers** (``link_tiers``): the population is partitioned into
+  per-link-speed tiers (fiber/broadband/cellular-style), each scaling the
+  device's uniform ``comm_min``/``comm_max`` draw.  A device's tier is a
+  pure function of ``(master entropy, device_id)`` — a dedicated salted
+  hash, **not** a draw from the device's stream — so tier membership is
+  static and consumes no draw-counter state.
+
+Every stochastic network draw goes through the same per-(device, draw)
+counter streams as the compute/comm draws, and the knobs gate the extra
+draws: with the layer off, a run consumes *exactly* the historical draw
+sequence, so golden fixtures and shard/worker bit-identity are preserved.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -57,9 +84,15 @@ _SM_GAMMA = 0x9E3779B97F4A7C15
 _SM_MUL1 = 0xBF58476D1CE4E5B9
 _SM_MUL2 = 0x94D049BB133111EB
 _DEVICE_STRIDE = 0xD1342543DE82EF95
+#: Salt separating the static per-device *tier* hash from the per-draw
+#: streams (tier membership consumes no draw-counter state).
+_TIER_SALT = 0xA24BAED4963EE407
 _TWO_PI = 2.0 * math.pi
 #: 2^64 as a float, for mapping hashes into (0, 1).
 _INV_2_64 = 1.0 / float(1 << 64)
+#: Largest float64 strictly below 1.0 — the open-interval ceiling of
+#: :meth:`ResponseLatencyModel._uniform`.
+_BELOW_ONE = math.nextafter(1.0, 0.0)
 
 
 def _mix64(z: int) -> int:
@@ -67,6 +100,11 @@ def _mix64(z: int) -> int:
     z = ((z ^ (z >> 30)) * _SM_MUL1) & _MASK64
     z = ((z ^ (z >> 27)) * _SM_MUL2) & _MASK64
     return z ^ (z >> 31)
+
+
+#: ``(tier name, population fraction, comm-time scale)`` triples describing
+#: per-link-speed device tiers (see :class:`LatencyConfig.link_tiers`).
+LinkTier = Tuple[str, float, float]
 
 
 @dataclass
@@ -81,6 +119,30 @@ class LatencyConfig:
     #: Global multiplier applied to every job's base task duration (lets
     #: experiments speed up or slow down the whole fleet consistently).
     duration_scale: float = 1.0
+    # --- network-degradation layer (defaults = pristine network) --------- #
+    #: Probability that one uplink transfer attempt is lost.  Lost attempts
+    #: inflate the communication time (see ``retry_backoff``); a report
+    #: whose ``1 + max_retries`` attempts are all lost counts as a dropout.
+    loss_rate: float = 0.0
+    #: Transfer attempts allowed *after* the first one.
+    max_retries: int = 3
+    #: Communication-time multiplier charged per lost attempt (the wasted
+    #: transfer plus the retransmission).
+    retry_backoff: float = 1.0
+    #: Link-flap windows: every ``flap_period`` seconds a window of
+    #: ``flap_duration`` seconds opens during which the loss rate is
+    #: elevated by ``flap_loss_rate`` (capped at 1).  ``flap_period=0``
+    #: disables flaps; ``flap_duration >= flap_period`` degrades the link
+    #: permanently.  Window membership is evaluated at assignment time.
+    flap_period: float = 0.0
+    flap_duration: float = 0.0
+    flap_loss_rate: float = 0.0
+    #: Per-link-speed device tiers: ``(name, fraction, comm_scale)`` triples
+    #: with positive fractions summing to 1.  Each device is statically
+    #: hashed into a tier; its tier's ``comm_scale`` multiplies the uniform
+    #: ``comm_min``/``comm_max`` communication draw (and the per-retry
+    #: inflation).  Empty tuple = a single implicit tier with scale 1.
+    link_tiers: Tuple[LinkTier, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         if self.compute_sigma < 0:
@@ -89,6 +151,54 @@ class LatencyConfig:
             raise ValueError("need 0 <= comm_min <= comm_max")
         if self.duration_scale <= 0:
             raise ValueError("duration_scale must be positive")
+        if not (0.0 <= self.loss_rate <= 1.0):
+            raise ValueError("loss_rate must be in [0, 1]")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.retry_backoff <= 0:
+            raise ValueError("retry_backoff must be positive")
+        if self.flap_period < 0 or self.flap_duration < 0:
+            raise ValueError("flap_period and flap_duration must be non-negative")
+        if not (0.0 <= self.flap_loss_rate <= 1.0):
+            raise ValueError("flap_loss_rate must be in [0, 1]")
+        if self.flap_duration > 0 and self.flap_period <= 0:
+            raise ValueError("flap_duration needs a positive flap_period")
+        # Tuple-ify so scenario overrides may pass lists (JSON-friendly).
+        self.link_tiers = tuple(
+            (str(name), float(frac), float(scale))
+            for name, frac, scale in self.link_tiers
+        )
+        if self.link_tiers:
+            fractions = [frac for _, frac, _ in self.link_tiers]
+            if any(f <= 0 for f in fractions) or not math.isclose(
+                sum(fractions), 1.0, rel_tol=1e-9, abs_tol=1e-9
+            ):
+                raise ValueError(
+                    "link tier fractions must be positive and sum to 1"
+                )
+            if any(scale <= 0 for _, _, scale in self.link_tiers):
+                raise ValueError("link tier comm scales must be positive")
+
+    @property
+    def degrades_network(self) -> bool:
+        """Whether any network-degradation knob is active.  When ``False``
+        the model consumes exactly the historical draw sequence."""
+        return bool(
+            self.loss_rate > 0
+            or (self.flap_period > 0 and self.flap_duration > 0
+                and self.flap_loss_rate > 0)
+        )
+
+    def effective_loss_rate(self, now: float) -> float:
+        """Loss probability of one transfer attempt starting at ``now``."""
+        loss = self.loss_rate
+        if (
+            self.flap_period > 0
+            and self.flap_duration > 0
+            and (now % self.flap_period) < self.flap_duration
+        ):
+            loss = min(1.0, loss + self.flap_loss_rate)
+        return loss
 
 
 class ResponseLatencyModel:
@@ -106,6 +216,8 @@ class ResponseLatencyModel:
         ``rng`` (an injected generator, e.g. the engine's single run
         generator) takes precedence over ``seed``."""
         self.config = config or LatencyConfig()
+        #: device_id -> tier index cache (static membership, lazily hashed).
+        self._tier_cache: Dict[int, int] = {}
         self._per_device = per_device_entropy is not None
         if self._per_device:
             # Normalise whatever the caller passed (int seed, tuple, None)
@@ -138,12 +250,80 @@ class ResponseLatencyModel:
             )
             & _MASK64
         )
-        # (h + 1) / 2^64 lies in (0, 1]; flipping to 1 - u gives [0, 1) —
-        # either way the endpoints 0.0/1.0-excluded where log() needs it.
-        return (h + 1) * _INV_2_64
+        # (h + 1) / 2^64 lies in (0, 1] and the ~2^10 largest hash values
+        # round to exactly 1.0 in float64 — outside the documented open
+        # interval (a comm draw would hit comm_max exactly, and downstream
+        # log()/division contracts assume u < 1).  Clamp those to the
+        # largest float below 1.0; every other draw is bit-unchanged.
+        u = (h + 1) * _INV_2_64
+        return u if u < 1.0 else _BELOW_ONE
 
+    # ------------------------------------------------------------------ #
+    # Link tiers
+    # ------------------------------------------------------------------ #
+    def link_tier(self, device_id: int) -> int:
+        """Index of ``device_id``'s link-speed tier (0 when untiered).
+
+        Tier membership is a *static* salted hash of ``(master entropy,
+        device_id)`` — not a stream draw — so it never advances the draw
+        counter and is identical for any shard layout.  In the shared-rng
+        regime the hash is keyed by device id alone.
+        """
+        tiers = self.config.link_tiers
+        if not tiers:
+            return 0
+        tier = self._tier_cache.get(device_id)
+        if tier is None:
+            master = self._master if self._per_device else 0
+            h = _mix64(((master ^ _TIER_SALT) + device_id * _DEVICE_STRIDE) & _MASK64)
+            u = (h + 1) * _INV_2_64
+            acc = 0.0
+            tier = len(tiers) - 1
+            for i, (_, fraction, _) in enumerate(tiers):
+                acc += fraction
+                if u <= acc:
+                    tier = i
+                    break
+            self._tier_cache[device_id] = tier
+        return tier
+
+    def link_tier_name(self, device_id: int) -> str:
+        """Name of the device's link tier (``"default"`` when untiered)."""
+        tiers = self.config.link_tiers
+        if not tiers:
+            return "default"
+        return tiers[self.link_tier(device_id)][0]
+
+    def _comm_scale(self, device_id: int) -> float:
+        tiers = self.config.link_tiers
+        if not tiers:
+            return 1.0
+        return tiers[self.link_tier(device_id)][2]
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
     def sample_duration(self, job: JobSpec, device: DeviceProfile) -> float:
-        """Response time (seconds) for ``device`` executing one round of ``job``."""
+        """Response time (seconds) for ``device`` executing one round of ``job``.
+
+        Pristine-network path (no loss/retry accounting); the engine uses
+        :meth:`sample_outcome`, which layers the network conditions on top.
+        """
+        duration, _ = self._sample_duration_parts(job, device, now=0.0, lossy=False)
+        return duration
+
+    def _sample_duration_parts(
+        self, job: JobSpec, device: DeviceProfile, now: float, lossy: bool
+    ) -> Tuple[float, bool]:
+        """``(duration, lost)`` for one assignment.
+
+        ``lossy=True`` additionally plays out the uplink transfer attempts:
+        each lost attempt adds ``retry_backoff ×`` the link's transfer time,
+        and exhausting ``1 + max_retries`` attempts returns ``lost=True``
+        (the report never arrives).  The loss draws come from the same
+        per-(device, draw) streams and are gated on the knobs, so a
+        pristine-network run consumes exactly the historical sequence.
+        """
         cfg = self.config
         if self._per_device:
             device_id = device.device_id
@@ -160,8 +340,24 @@ class ResponseLatencyModel:
                 * device.speed_factor
                 * math.exp(cfg.compute_sigma * z)
             )
-            comm = cfg.comm_min + (cfg.comm_max - cfg.comm_min) * u3
-            return compute + comm
+            comm = (cfg.comm_min + (cfg.comm_max - cfg.comm_min) * u3) * (
+                self._comm_scale(device_id)
+            )
+            if lossy and cfg.degrades_network:
+                loss = cfg.effective_loss_rate(now)
+                transfer = comm
+                attempts = 1 + cfg.max_retries
+                lost = False
+                for _ in range(attempts):
+                    k = self._draw_counts[device_id]
+                    self._draw_counts[device_id] = k + 1
+                    if self._uniform(device_id, k) >= loss:
+                        break
+                    comm += transfer * cfg.retry_backoff
+                else:
+                    lost = True
+                return compute + comm, lost
+            return compute + comm, False
         rng = self._rng
         compute = (
             job.base_task_duration
@@ -169,8 +365,21 @@ class ResponseLatencyModel:
             * device.speed_factor
             * float(np.exp(rng.normal(0.0, cfg.compute_sigma)))
         )
-        comm = float(rng.uniform(cfg.comm_min, cfg.comm_max))
-        return compute + comm
+        comm = float(rng.uniform(cfg.comm_min, cfg.comm_max)) * self._comm_scale(
+            device.device_id
+        )
+        if lossy and cfg.degrades_network:
+            loss = cfg.effective_loss_rate(now)
+            transfer = comm
+            lost = False
+            for _ in range(1 + cfg.max_retries):
+                if float(rng.random()) >= loss:
+                    break
+                comm += transfer * cfg.retry_backoff
+            else:
+                lost = True
+            return compute + comm, lost
+        return compute + comm, False
 
     def sample_failure(self, device: DeviceProfile) -> bool:
         """Whether the device drops out instead of reporting back."""
@@ -181,8 +390,30 @@ class ResponseLatencyModel:
             return self._uniform(device_id, k) > device.reliability
         return bool(self._rng.random() > device.reliability)
 
+    def sample_outcome(
+        self, job: JobSpec, device: DeviceProfile, now: float = 0.0
+    ) -> Tuple[float, bool]:
+        """``(duration, dropped)`` for one assignment starting at ``now``.
+
+        The engine's sampling entry point: duration (compute + possibly
+        retry-inflated communication), then the intrinsic-reliability
+        dropout draw; a report that lost all its uplink transfer attempts
+        is a dropout regardless of reliability.  Draw order (three duration
+        uniforms, loss attempts, one reliability uniform) matches the
+        historical ``sample_duration`` + ``sample_failure`` sequence, so
+        with the network layer off the outcomes are bit-identical to the
+        pre-network-layer engine.
+        """
+        duration, lost = self._sample_duration_parts(job, device, now, lossy=True)
+        dropped = self.sample_failure(device)
+        return duration, lost or dropped
+
     def expected_duration(self, job: JobSpec, device: DeviceProfile) -> float:
-        """Mean response time (no sampling); useful for estimators and tests."""
+        """Mean response time (no sampling); useful for estimators and tests.
+
+        Accounts for the device's link-tier comm scale and the expected
+        retry inflation at the *baseline* loss rate (flap windows are
+        time-dependent and excluded)."""
         cfg = self.config
         compute = (
             job.base_task_duration
@@ -191,6 +422,13 @@ class ResponseLatencyModel:
             * float(np.exp(cfg.compute_sigma**2 / 2.0))
         )
         comm = (cfg.comm_min + cfg.comm_max) / 2.0
+        comm *= self._comm_scale(device.device_id)
+        if cfg.loss_rate > 0:
+            # Expected lost attempts among the first 1 + max_retries:
+            # sum_{i=1..max_retries+1} p^i truncates the geometric series.
+            p = cfg.loss_rate
+            expected_lost = sum(p**i for i in range(1, cfg.max_retries + 2))
+            comm *= 1.0 + cfg.retry_backoff * expected_lost
         return compute + comm
 
     def tail_duration(
@@ -208,7 +446,8 @@ class ResponseLatencyModel:
             * float(np.exp(cfg.compute_sigma * z))
         )
         comm = cfg.comm_min + (percentile / 100.0) * (cfg.comm_max - cfg.comm_min)
+        comm *= self._comm_scale(device.device_id)
         return compute + comm
 
 
-__all__ = ["LatencyConfig", "ResponseLatencyModel"]
+__all__ = ["LatencyConfig", "LinkTier", "ResponseLatencyModel"]

@@ -40,6 +40,10 @@ class JobMetrics:
     #: the resulting accuracy at exactly these times.
     round_participants: List[Sequence[int]] = field(default_factory=list)
     round_completion_times: List[float] = field(default_factory=list)
+    #: Per-completed-round durations of the successful attempt, submit to
+    #: close — the round-completion-time (FCT-analogue) distribution the
+    #: network-degradation scenarios are judged on.
+    round_durations: List[float] = field(default_factory=list)
     aborted_rounds: int = 0
     rounds_completed: int = 0
     #: Per-round deadline of the job's spec; 0 means unknown (job excluded
@@ -205,6 +209,37 @@ class SimulationMetrics:
         """Several JCT percentiles at once (sweep rows report p50/p99)."""
         return {float(p): self.jct_percentile(p) for p in percentiles}
 
+    # ------------------------------------------------------------------ #
+    # Round-completion times (FCT analogue)
+    # ------------------------------------------------------------------ #
+    def round_durations(self) -> List[float]:
+        """Pooled per-round completion times (successful attempt, submit to
+        close) across all jobs, in job-id order then round order.
+
+        This is the simulator's flow-completion-time analogue: network
+        degradation (loss retries, link flaps, slow link tiers) shows up
+        here long before it moves the per-job JCT aggregates.
+        """
+        out: List[float] = []
+        for job_id in sorted(self.jobs):
+            out.extend(self.jobs[job_id].round_durations)
+        return out
+
+    @property
+    def average_round_duration(self) -> float:
+        durations = self.round_durations()
+        return float(np.mean(durations)) if durations else 0.0
+
+    def round_duration_percentile(self, p: float) -> float:
+        """``p``-th percentile of pooled round-completion times (0.0 when
+        no round completed)."""
+        if not (0.0 <= p <= 100.0):
+            raise ValueError("percentile must be in [0, 100]")
+        durations = self.round_durations()
+        if not durations:
+            return 0.0
+        return float(np.percentile(np.asarray(durations, dtype=float), p))
+
     @property
     def error_rate(self) -> float:
         """Fraction of device responses that were failures (dropouts)."""
@@ -220,9 +255,13 @@ class SimulationMetrics:
         A job's budget is ``num_rounds × round_deadline`` — the JCT it would
         have if every round barely met its deadline with no aborts — so
         ``slo_scale`` is the number of "worst-case rounds" the operator
-        tolerates per round on average.  Jobs with an unknown deadline are
-        excluded; an unfinished job never attains its SLA.  Returns 0.0 when
-        no job carries a deadline.
+        tolerates per round on average.  Jobs with a degenerate budget
+        (``round_deadline <= 0``, hence ``slo_target <= 0``) carry no SLO
+        and are excluded from both the numerator and the denominator — a
+        zero deadline means "no deadline recorded", not "impossible SLA",
+        so such jobs must not drag attainment toward zero.  An unfinished
+        job never attains its SLA.  Returns 0.0 when no job carries a
+        positive budget.
         """
         if slo_scale <= 0:
             raise ValueError("slo_scale must be positive")
@@ -317,6 +356,11 @@ def collect_job_metrics(
         for r in runtime.rounds
         if r.completed and r.completion_time is not None
     ]
+    durations = [
+        r.duration
+        for r in runtime.rounds
+        if r.completed and r.duration is not None
+    ]
     aborted = sum(r.aborted_attempts for r in runtime.rounds)
     # Count aborted attempts of the in-flight round as well.
     aborted += runtime.attempt
@@ -334,6 +378,7 @@ def collect_job_metrics(
         response_times=resp,
         round_participants=participants,
         round_completion_times=completions,
+        round_durations=durations,
         aborted_rounds=aborted,
         rounds_completed=runtime.rounds_completed,
         round_deadline=spec.round_deadline,

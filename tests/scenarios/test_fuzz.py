@@ -1,0 +1,57 @@
+"""Small-budget run of the scenario fuzzer as a regular test, plus CLI
+smoke coverage.  The CI ``scenario-fuzz`` job runs the same harness with a
+bigger budget; this keeps the fuzzer itself from rotting between runs."""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.scenarios import scenario_names
+from repro.scenarios.fuzz import (
+    base_configs,
+    check_scenario,
+    check_worker_identity,
+    main,
+    scenario_specs,
+)
+from repro.scenarios.registry import get_scenario
+
+
+@given(spec=scenario_specs(), base=base_configs())
+@settings(
+    max_examples=5,
+    deadline=None,
+    database=None,
+    suppress_health_check=list(HealthCheck),
+)
+def test_random_compositions_hold_invariants(spec, base):
+    check_scenario(spec, base, shards=(1, 2))
+
+
+def test_registered_fuzz_tagged_scenarios_absent():
+    """The fuzzer must not leak temporary registrations."""
+    assert not [n for n in scenario_names() if n.startswith("fuzz")]
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="worker identity needs forked workers to inherit the registry",
+)
+def test_worker_identity_on_network_scenario():
+    check_worker_identity(get_scenario("lossy_uplink"))
+    assert not [n for n in scenario_names() if n.startswith("fuzz")]
+
+
+def test_cli_smoke(capsys):
+    assert main(["--budget", "2", "--seed", "3"]) == 0
+    assert "2 examples passed" in capsys.readouterr().out
+
+
+def test_cli_rejects_bad_arguments():
+    with pytest.raises(SystemExit):
+        main(["--budget", "0"])
+    with pytest.raises(SystemExit):
+        main(["--budget", "1", "--shards", "1"])

@@ -1,0 +1,156 @@
+"""Pinned regression cases found by the scenario fuzzer.
+
+Each test is a shrunk composition from ``repro.scenarios.fuzz`` that used
+to violate an engine invariant; the cases are frozen here so the bugs stay
+fixed even when the fuzzer's random exploration moves elsewhere.
+
+* ``compress_arrivals`` floored the burst window at 1.0 s, so a burst near
+  the end of a short horizon redrew arrivals *past* the horizon;
+* ``inject_churn_storms`` applied evenly spaced windows without merging, so
+  overlapping storms re-truncated already-resumed sessions and introduced
+  spurious check-ins strictly inside a later storm window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from functools import partial
+
+import numpy as np
+
+from repro.experiments.config import quick_config
+from repro.scenarios import ScenarioSpec, get_scenario
+from repro.scenarios.fuzz import check_scenario
+from repro.scenarios.transforms import (
+    chain_workload_transforms,
+    compress_arrivals,
+    inject_churn_storms,
+    storm_windows,
+)
+
+
+def shrunk_base(seed: int, horizon: float, num_devices: int = 40, num_jobs: int = 16):
+    base = quick_config(seed=seed)
+    return replace(
+        base,
+        num_devices=num_devices,
+        num_jobs=num_jobs,
+        horizon=horizon,
+        workload=replace(base.workload, trace_size=40),
+    )
+
+
+class TestCompressArrivalsHorizonOverflow:
+    """Shrunk case: burst_at=0.999 over a 900 s horizon leaves 0.9 s of
+    slack; the old ``max(horizon - start, 1.0)`` floor redrew arrivals in a
+    1.0 s window straddling the horizon."""
+
+    SPEC = ScenarioSpec(
+        name="fuzz",
+        description="late flash crowd on a degenerate horizon",
+        workload_transform=partial(
+            chain_workload_transforms,
+            transforms=(
+                partial(
+                    compress_arrivals,
+                    burst_fraction=1.0,
+                    burst_at=0.999,
+                    burst_window=7200.0,
+                ),
+            ),
+        ),
+        tags=("fuzz",),
+    )
+
+    def test_late_burst_arrivals_stay_inside_horizon(self):
+        base = shrunk_base(seed=1, horizon=900.0)
+        env = self.SPEC.build_environment(base)
+        for job in env.workload.jobs:
+            assert job.arrival_time <= base.horizon + 1e-9, (
+                f"job {job.job_id} redrawn to {job.arrival_time} past the "
+                f"{base.horizon} s horizon"
+            )
+
+    def test_fuzz_harness_passes_on_shrunk_case(self):
+        check_scenario(self.SPEC, shrunk_base(seed=1, horizon=900.0))
+
+    def test_window_collapses_to_remaining_horizon(self):
+        env = get_scenario("even").build_environment(shrunk_base(seed=1, horizon=900.0))
+        rng = np.random.default_rng(0)
+        burst = compress_arrivals(
+            env.workload,
+            rng,
+            env.config,
+            burst_fraction=1.0,
+            burst_at=0.999,
+            burst_window=7200.0,
+        )
+        start = 0.999 * env.config.horizon
+        for job in burst.jobs:
+            assert start <= job.arrival_time <= env.config.horizon
+
+
+class TestChurnStormOverlap:
+    """Shrunk case: three 2-hour storms over a 6-hour horizon.  The raw
+    evenly spaced windows ([1800, 9000], [7200, 14400], [12600, 19800])
+    overlap pairwise; without coalescing, a device affected by one window
+    but not the next resumed *inside* the next storm."""
+
+    HORIZON = 6 * 3600.0
+    NUM_STORMS = 3
+    STORM_DURATION = 7200.0
+
+    def test_windows_are_disjoint_after_merging(self):
+        windows = storm_windows(self.HORIZON, self.NUM_STORMS, self.STORM_DURATION)
+        assert windows == ((1800.0, 19800.0),)  # the overlap chain coalesces
+        for (_, end_a), (start_b, _) in zip(windows, windows[1:]):
+            assert end_a < start_b
+
+    def test_disjoint_inputs_left_alone(self):
+        windows = storm_windows(4 * 3600.0, 2, 600.0)
+        assert len(windows) == 2
+        (s1, e1), (s2, e2) = windows
+        assert s1 < e1 < s2 < e2
+
+    def test_no_introduced_session_start_inside_a_storm(self):
+        env = get_scenario("even").build_environment(
+            shrunk_base(seed=3, horizon=self.HORIZON, num_devices=80, num_jobs=4)
+        )
+        rng = np.random.default_rng(0)
+        stormed = inject_churn_storms(
+            env.availability,
+            rng,
+            env.config,
+            num_storms=self.NUM_STORMS,
+            storm_duration=self.STORM_DURATION,
+            dropout_fraction=0.5,
+        )
+        original = {(s.device_id, s.start) for s in env.availability.sessions}
+        windows = storm_windows(self.HORIZON, self.NUM_STORMS, self.STORM_DURATION)
+        for session in stormed.sessions:
+            if (session.device_id, session.start) in original:
+                continue  # untouched by the transform
+            # A transform-introduced start is a storm resume: it must sit on
+            # a merged-window end, never strictly inside a storm.
+            assert not any(
+                start < session.start < end for start, end in windows
+            ), (
+                f"device {session.device_id} resumed at {session.start}, "
+                f"inside a storm window"
+            )
+
+    def test_fuzz_harness_passes_on_shrunk_case(self):
+        spec = ScenarioSpec(
+            name="fuzz",
+            description="overlapping churn storms",
+            availability_transform=partial(
+                inject_churn_storms,
+                num_storms=self.NUM_STORMS,
+                storm_duration=self.STORM_DURATION,
+                dropout_fraction=0.5,
+            ),
+            tags=("fuzz",),
+        )
+        check_scenario(
+            spec, shrunk_base(seed=3, horizon=self.HORIZON, num_devices=80, num_jobs=4)
+        )

@@ -11,6 +11,7 @@ import pytest
 from repro.experiments.config import quick_config
 from repro.scenarios import (
     BEYOND_PAPER_SCENARIOS,
+    NETWORK_SCENARIOS,
     ScenarioSpec,
     all_scenarios,
     get_scenario,
@@ -23,6 +24,8 @@ from repro.scenarios.transforms import (
     assign_priority_tiers,
     compress_arrivals,
     inject_churn_storms,
+    regional_outage,
+    storm_windows,
 )
 from repro.traces.workloads import BIAS_SCENARIOS, DEMAND_SCENARIOS
 
@@ -50,7 +53,8 @@ class TestRegistry:
     def test_tag_filter(self):
         assert set(scenario_names(tag="beyond-paper")) == set(
             BEYOND_PAPER_SCENARIOS
-        )
+        ) | set(NETWORK_SCENARIOS)
+        assert set(scenario_names(tag="network")) == set(NETWORK_SCENARIOS)
         assert set(scenario_names(tag="paper")) == set(DEMAND_SCENARIOS) | set(
             BIAS_SCENARIOS
         )
@@ -261,3 +265,113 @@ class TestMultiTenant:
                 env.config,
                 tiers=(("a", 0.5, 1.0), ("b", 0.5, 0.0)),
             )
+
+
+class TestNetworkScenarios:
+    """Behaviour of the network-degradation family (knob plumbing plus the
+    observable effect each scenario exists to produce)."""
+
+    def test_all_registered_and_tagged(self):
+        from repro.scenarios import NETWORK_SCENARIOS
+
+        for name in NETWORK_SCENARIOS:
+            spec = get_scenario(name)
+            assert "network" in spec.tags
+            assert "beyond-paper" in spec.tags
+
+    def test_lossy_uplink_knobs_reach_latency_config(self):
+        cfg = get_scenario("lossy_uplink").apply(tiny_base())
+        latency = cfg.simulation.latency
+        assert latency.loss_rate == 0.12
+        assert latency.max_retries == 3
+        assert latency.degrades_network
+
+    def test_lossy_uplink_raises_error_rate(self):
+        from repro.experiments.endtoend import run_policy
+
+        base = tiny_base(seed=61)
+        plain = run_policy(get_scenario("even").build_environment(base), "fifo")
+        lossy = run_policy(
+            get_scenario("lossy_uplink").build_environment(base), "fifo"
+        )
+        assert lossy.error_rate > plain.error_rate
+
+    def test_link_flaps_knobs_reach_latency_config(self):
+        cfg = get_scenario("link_flaps").apply(tiny_base())
+        latency = cfg.simulation.latency
+        assert latency.flap_period == 4 * 3600.0
+        assert latency.flap_duration == 1200.0
+        assert latency.flap_loss_rate == 0.6
+        assert latency.degrades_network
+        # Loss is elevated inside a flap window, baseline outside it.
+        assert latency.effective_loss_rate(600.0) == pytest.approx(0.62)
+        assert latency.effective_loss_rate(2000.0) == pytest.approx(0.02)
+
+    def test_regional_outage_empties_region_then_heals(self):
+        base = tiny_base(seed=71)
+        plain = get_scenario("even").build_environment(base)
+        outage = get_scenario("regional_outage").build_environment(base)
+        horizon = base.horizon
+        start, end = 0.45 * horizon, 0.45 * horizon + 7200.0
+
+        def online_at(trace, when):
+            return sum(1 for s in trace.sessions if s.start <= when < s.end)
+
+        mid = (start + end) / 2.0
+        assert online_at(outage.availability, mid) < online_at(
+            plain.availability, mid
+        )
+        # The heal edge re-admits the region as fresh check-ins at the
+        # window end.
+        resumed = [
+            s for s in outage.availability.sessions if s.start == end
+        ]
+        assert resumed, "no sessions resumed at the heal edge"
+
+    def test_tiered_links_partition_the_population(self):
+        from repro.sim.latency import ResponseLatencyModel
+
+        cfg = get_scenario("tiered_links").apply(tiny_base())
+        tiers = cfg.simulation.latency.link_tiers
+        assert [t[0] for t in tiers] == ["fiber", "broadband", "cellular"]
+        model = ResponseLatencyModel(
+            cfg.simulation.latency, per_device_entropy=123
+        )
+        names = {model.link_tier_name(d) for d in range(300)}
+        assert names == {"fiber", "broadband", "cellular"}
+
+    def test_regional_outage_transform_knob_validation(self):
+        env = get_scenario("even").build_environment(tiny_base())
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            regional_outage(env.availability, rng, env.config, region_fraction=0.0)
+        with pytest.raises(ValueError):
+            regional_outage(env.availability, rng, env.config, outage_start=1.0)
+        with pytest.raises(ValueError):
+            regional_outage(env.availability, rng, env.config, outage_duration=0.0)
+
+    def test_storm_window_knob_validation(self):
+        with pytest.raises(ValueError):
+            storm_windows(1000.0, 0, 60.0)
+        with pytest.raises(ValueError):
+            storm_windows(1000.0, 1, 0.0)
+
+
+class TestNetworkScenarioIdentity:
+    """Acceptance gate: every network scenario's metrics row is
+    byte-identical across shard counts (worker identity is covered by
+    ``tests/scenarios/test_fuzz.py``)."""
+
+    @pytest.mark.parametrize(
+        "name", ("lossy_uplink", "link_flaps", "regional_outage", "tiered_links")
+    )
+    def test_byte_identical_across_shard_counts(self, name):
+        from repro.scenarios.fuzz import check_scenario
+
+        base = replace(
+            tiny_base(seed=81),
+            num_devices=60,
+            num_jobs=5,
+            horizon=0.25 * DAY,
+        )
+        check_scenario(get_scenario(name), base, shards=(1, 2, 4))

@@ -283,3 +283,74 @@ class TestMetricsMerge:
         assert merged["triggers"] == {
             "forced_full": 4, "job_arrival": 4, "request_arrival": 1
         }
+
+
+class TestDegenerateSlaBudget:
+    """``round_deadline=0`` means "no deadline recorded", not "zero budget":
+    such jobs are excluded from the SLA numerator *and* denominator."""
+
+    def test_zero_deadline_excluded_from_both_sides(self):
+        m = SimulationMetrics(policy="p", horizon=10_000.0)
+        m.jobs[1] = job_metrics(1, 100.0, round_deadline=0.0)
+        m.jobs[2] = job_metrics(2, 100.0, round_deadline=600.0)
+        # Job 1 carries no budget, so attainment is decided by job 2 alone.
+        assert m.sla_attainment() == 1.0
+
+    def test_only_degenerate_budgets_yields_zero_not_nan(self):
+        m = SimulationMetrics(policy="p", horizon=10_000.0)
+        m.jobs[1] = job_metrics(1, 100.0, round_deadline=0.0)
+        assert m.sla_attainment() == 0.0
+
+    def test_adding_degenerate_job_cannot_lower_attainment(self):
+        m = SimulationMetrics(policy="p", horizon=10_000.0)
+        m.jobs[1] = job_metrics(1, 50.0, round_deadline=600.0)
+        assert m.sla_attainment() == 1.0
+        # A zero-budget job that completed instantly must not read as "missed".
+        m.jobs[2] = job_metrics(2, 0.0, round_deadline=0.0)
+        assert m.sla_attainment() == 1.0
+
+    def test_negative_deadline_also_excluded(self):
+        m = SimulationMetrics(policy="p", horizon=10_000.0)
+        m.jobs[1] = job_metrics(1, 100.0, round_deadline=-5.0)
+        m.jobs[2] = job_metrics(2, 100.0, round_deadline=600.0)
+        assert m.sla_attainment() == 1.0
+
+
+class TestRoundDurations:
+    """The round-completion-time (FCT analogue) aggregates behind the
+    network-degradation sweep metric."""
+
+    def _metrics(self):
+        m = SimulationMetrics(policy="p", horizon=1_000.0)
+        m.jobs[2] = job_metrics(2, 100.0)
+        m.jobs[2].round_durations = [30.0, 50.0]
+        m.jobs[1] = job_metrics(1, 100.0)
+        m.jobs[1].round_durations = [10.0]
+        return m
+
+    def test_pooled_in_job_id_then_round_order(self):
+        assert self._metrics().round_durations() == [10.0, 30.0, 50.0]
+
+    def test_average_and_percentiles(self):
+        m = self._metrics()
+        assert m.average_round_duration == pytest.approx(30.0)
+        assert m.round_duration_percentile(50.0) == pytest.approx(30.0)
+        assert m.round_duration_percentile(100.0) == pytest.approx(50.0)
+
+    def test_empty_run_is_zero(self):
+        m = SimulationMetrics(policy="p", horizon=1.0)
+        assert m.average_round_duration == 0.0
+        assert m.round_duration_percentile(99.0) == 0.0
+
+    def test_percentile_bounds_validated(self):
+        with pytest.raises(ValueError):
+            self._metrics().round_duration_percentile(101.0)
+
+    def test_collect_gathers_durations_of_completed_rounds(self):
+        runtime = JobRuntime(spec=make_job(job_id=9, demand=1, rounds=1, arrival=10.0))
+        request = runtime.open_round_request(1, now=20.0)
+        request.record_assignment(3, 30.0)
+        request.record_response(3, 45.0)
+        runtime.complete_round(45.0)
+        jm = collect_job_metrics(runtime)
+        assert jm.round_durations == [pytest.approx(25.0)]

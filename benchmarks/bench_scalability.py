@@ -35,10 +35,17 @@ Axes that can be compared:
   match for every shard count — the sharded engine promises bit-identical
   runs for any shard layout — and the benchmark exits non-zero on any
   divergence (the CI ``shard-identity`` gate).
+* **vectorized vs scalar hot path** (``--vectorized-compare``): the
+  struct-of-arrays engine (``SimulationConfig(vectorized_dispatch=True)``,
+  ``repro/sim/vector.py``) at every listed shard count against the scalar
+  reference.  Decision hash, metrics digest and event count must all match
+  — the vectorized-identity gate is fatal like the shard gate — and the
+  per-shard-count events/sec ratio is recorded in the artifact.
 
 ``--smoke`` runs one tiny cell across all combinations, including
-``num_shards=2`` (seconds; used by CI), and ``--check-baseline`` fails the
-run when any indexed/sharded+incremental ``events_per_sec`` regresses more
+``num_shards=2`` and the vectorized twin (seconds; used by CI), and
+``--check-baseline`` fails the run when any
+indexed/sharded/vectorized+incremental ``events_per_sec`` regresses more
 than ``--max-regression`` against a committed artifact — the CI
 ``perf-smoke`` gate.
 
@@ -190,6 +197,7 @@ def run_cell(
     maintenance: str,
     repeats: int = 1,
     num_shards: int = 1,
+    vectorized: bool = False,
 ) -> Dict:
     """Run one cell ``repeats`` times and keep the fastest run.
 
@@ -202,7 +210,7 @@ def run_cell(
     for _ in range(max(1, repeats)):
         cell = _run_cell_once(
             num_devices, num_jobs, horizon, seed, policy_name, indexed,
-            maintenance, num_shards,
+            maintenance, num_shards, vectorized,
         )
         if best is not None and cell["decision_hash"] != best["decision_hash"]:
             raise AssertionError(
@@ -223,6 +231,7 @@ def _run_cell_once(
     indexed: bool,
     maintenance: str,
     num_shards: int = 1,
+    vectorized: bool = False,
 ) -> Dict:
     devices, trace, workload = build_cell(num_devices, num_jobs, horizon, seed)
     kwargs = {}
@@ -237,13 +246,16 @@ def _run_cell_once(
         latency=LatencyConfig(),
         max_events=200_000_000,
         num_shards=num_shards,
+        vectorized_dispatch=vectorized,
     )
     sim = Simulator(devices, trace, workload, policy, config)
     t0 = time.perf_counter()
     metrics = sim.run()
     wall = time.perf_counter() - t0
     lat = np.asarray(policy.assign_latencies, dtype=float)
-    if num_shards > 1:
+    if vectorized:
+        path = "vectorized"
+    elif num_shards > 1:
         path = "sharded"
     elif indexed:
         path = "indexed"
@@ -295,34 +307,39 @@ def parse_int_list(text: str) -> List[int]:
 
 def cell_combos(
     args, policy_is_venn: bool, num_devices: int
-) -> List[Tuple[bool, str, int]]:
-    """(indexed, plan_maintenance, num_shards) combinations per cell.
+) -> List[Tuple[bool, str, int, bool]]:
+    """(indexed, plan_maintenance, num_shards, vectorized) combos per cell.
 
     The shard sweep applies to the primary (indexed, primary-maintenance)
     configuration; the maintenance-compare and legacy-scan references run
     once, on the single-queue engine, since the shard-identity gate already
     pins every shard count to the num_shards=1 decisions bit-for-bit.
+    ``--vectorized-compare`` adds a struct-of-arrays twin of every primary
+    shard count, gated bit-identical against the scalar reference.
     """
     maint = args.plan_maintenance if policy_is_venn else "full"
-    combos: List[Tuple[bool, str, int]] = []
+    combos: List[Tuple[bool, str, int, bool]] = []
     if args.legacy_scan:
-        combos.append((False, "full", 1))
+        combos.append((False, "full", 1, False))
         return combos
     for shards in args.shard_counts:
-        combos.append((True, maint, shards))
+        combos.append((True, maint, shards, False))
     if 1 not in args.shard_counts:
         # The sharding comparison needs its single-queue reference.
-        combos.insert(0, (True, maint, 1))
+        combos.insert(0, (True, maint, 1, False))
+    if args.vectorized_compare:
+        for shards in args.shard_counts:
+            combos.append((True, maint, shards, True))
     if args.maintenance_compare and policy_is_venn:
         other = "full" if maint == "incremental" else "incremental"
-        combos.append((True, other, 1))
+        combos.append((True, other, 1, False))
     if args.compare and num_devices <= args.legacy_max_devices:
         # The legacy-scan reference always runs the paper-literal full
         # rebuild: it reproduces the seed's behaviour.  Cells above
         # --legacy-max-devices skip it (the linear scans take O(hours) at
         # 10^6 devices; the equivalence is already pinned at smaller cells
         # and by the golden tests).
-        combos.append((False, "full", 1))
+        combos.append((False, "full", 1, False))
     return combos
 
 
@@ -363,9 +380,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run each cell in both plan-maintenance modes, "
                              "assert decision identity and report the "
                              "incremental/full speedup")
+    parser.add_argument("--vectorized-compare", action="store_true",
+                        help="run each primary shard count on the "
+                             "struct-of-arrays hot path too; decision hash, "
+                             "metrics hash and event count must match the "
+                             "scalar run bit-for-bit (fatal otherwise)")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny sweep for CI (overrides sweep + horizon, "
-                             "implies --compare and --maintenance-compare)")
+                             "implies --compare, --maintenance-compare and "
+                             "--vectorized-compare)")
     parser.add_argument("--check-baseline", default=None, metavar="PATH",
                         help="committed artifact to compare against; fails "
                              "when indexed+incremental events_per_sec "
@@ -387,6 +410,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         device_counts, job_counts, horizon = [5000], [8], 6 * 3600.0
         args.compare = True
         args.maintenance_compare = True
+        args.vectorized_compare = True
         if args.shard_counts == [1]:
             args.shard_counts = [1, 2]
 
@@ -396,10 +420,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     for n_dev in device_counts:
         for n_jobs in job_counts:
             by_combo: Dict[Tuple[str, str, int], Dict] = {}
-            for indexed, maintenance, shards in cell_combos(
+            for indexed, maintenance, shards, vectorized in cell_combos(
                 args, policy_is_venn, n_dev
             ):
-                if shards > 1:
+                if vectorized:
+                    label = "vectorized"
+                elif shards > 1:
                     label = "sharded"
                 elif indexed:
                     label = "indexed"
@@ -413,7 +439,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 cell = run_cell(
                     n_dev, n_jobs, horizon, args.seed, args.policy,
                     indexed, maintenance, repeats=args.repeats,
-                    num_shards=shards,
+                    num_shards=shards, vectorized=vectorized,
                 )
                 by_combo[(label, maintenance, shards)] = cell
                 cells.append(cell)
@@ -466,6 +492,54 @@ def main(argv: Optional[List[str]] = None) -> int:
                 cells.append({
                     "devices": n_dev, "jobs": n_jobs,
                     "summary": "sharding", "num_shards": shards,
+                    "events_per_sec_ratio": round(ratio, 3),
+                    "decisions_identical": identical,
+                })
+
+            for shards in sorted(set(args.shard_counts)):
+                vec_cell = by_combo.get(("vectorized", maint_primary, shards))
+                if vec_cell is None:
+                    continue
+                scalar_key = (
+                    ("sharded" if shards > 1 else "indexed"),
+                    maint_primary, shards,
+                )
+                scalar_cell = by_combo.get(scalar_key) or base_cell
+                if scalar_cell is None:
+                    continue
+                identical = (
+                    vec_cell["decision_hash"] == scalar_cell["decision_hash"]
+                    and vec_cell["metrics_hash"] == scalar_cell["metrics_hash"]
+                    and vec_cell["events"] == scalar_cell["events"]
+                )
+                if not identical:
+                    # Fatal: the vectorized hot path promises bit-identical
+                    # decisions AND metrics to the scalar oracle.
+                    decision_mismatch = True
+                    print(
+                        f"[cell] devices={n_dev} jobs={n_jobs} "
+                        f"VECTORIZED IDENTITY DIVERGENCE at "
+                        f"num_shards={shards}: decisions "
+                        f"{vec_cell['decision_hash'][:12]} vs "
+                        f"{scalar_cell['decision_hash'][:12]}, metrics "
+                        f"{vec_cell['metrics_hash'][:12]} vs "
+                        f"{scalar_cell['metrics_hash'][:12]}, events "
+                        f"{vec_cell['events']} vs {scalar_cell['events']}",
+                        file=sys.stderr, flush=True,
+                    )
+                ratio = (
+                    vec_cell["events_per_sec"]
+                    / max(scalar_cell["events_per_sec"], 1e-9)
+                )
+                print(
+                    f"[cell] devices={n_dev} jobs={n_jobs} "
+                    f"vectorized/scalar(shards={shards}) = {ratio:.2f}x, "
+                    f"identical: {identical}",
+                    file=sys.stderr, flush=True,
+                )
+                cells.append({
+                    "devices": n_dev, "jobs": n_jobs,
+                    "summary": "vectorized", "num_shards": shards,
                     "events_per_sec_ratio": round(ratio, 3),
                     "decisions_identical": identical,
                 })
@@ -562,8 +636,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if decision_mismatch:
         print("FAIL: a decision-identity contract was violated (incremental "
-              "vs full plan maintenance, or sharded vs single-queue engine "
-              "— see SHARD IDENTITY / MAINTENANCE DECISION lines above)",
+              "vs full plan maintenance, sharded vs single-queue engine, or "
+              "vectorized vs scalar hot path — see SHARD IDENTITY / "
+              "MAINTENANCE DECISION / VECTORIZED IDENTITY lines above)",
               file=sys.stderr)
         return 2
     if args.check_baseline:
@@ -600,7 +675,7 @@ def check_baseline(
     for cell in cells:
         if "summary" in cell:
             continue
-        if cell["path"] not in ("indexed", "sharded"):
+        if cell["path"] not in ("indexed", "sharded", "vectorized"):
             continue
         if cell.get("plan_maintenance") != "incremental":
             continue

@@ -298,6 +298,45 @@ class VennScheduler(SeededRngMixin, BasePolicy):
     def on_device_checkin(self, device: DeviceProfile, now: float) -> None:
         self.supply.record_checkin(self._signature_for(device), now)
 
+    def on_device_checkin_batch(
+        self, device_ids, times, sig_ids, sig_table, profile_of
+    ) -> None:
+        """Record a batch of check-ins into the supply estimator (vectorized).
+
+        ``sig_table`` holds the engine's interned *full* signatures — the
+        same values the bound signature provider returns — so each unique
+        full signature in the batch restricts to the live requirement set
+        through ``_restrict_memo`` exactly as :meth:`_signature_for` would,
+        observing new restricted signatures in first-occurrence (event)
+        order.  Supply rings then update through
+        :meth:`SupplyEstimator.record_checkins_batch`, which is
+        state-identical to per-event recording.  Without a usable provider
+        (legacy scan, requirement mismatch) the scalar hook runs per event.
+        """
+        space = self._ensure_atom_space()
+        if not (self.use_index and self._provider_ok):
+            for i in range(len(device_ids)):
+                self.on_device_checkin(
+                    profile_of(int(device_ids[i])), float(times[i])
+                )
+            return
+        uniq, first = np.unique(sig_ids, return_index=True)
+        remap = np.zeros(int(uniq[-1]) + 1, dtype=np.int64) if len(uniq) else None
+        restricted: list = []
+        for j in np.argsort(first, kind="stable"):
+            sid = int(uniq[j])
+            full = sig_table[sid]
+            sig = self._restrict_memo.get(full)
+            if sig is None:
+                names = space.requirement_names
+                sig = frozenset(n for n in full if n in names)
+                space.observe_signature(sig)
+                self._restrict_memo[full] = sig
+            remap[sid] = len(restricted)
+            restricted.append(sig)
+        if restricted:
+            self.supply.record_checkins_batch(remap[sig_ids], times, restricted)
+
     def on_response(
         self, request: ResourceRequest, device: DeviceProfile, now: float
     ) -> None:

@@ -20,7 +20,9 @@ sliding window is that events age out at bucket granularity
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Deque, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .requirements import AtomSignature, sorted_atoms
 
@@ -117,6 +119,64 @@ class SupplyEstimator:
         self._last_event_time = now
         self._total_checkins += 1
         self._prune(sig, now)
+
+    def record_checkins_batch(
+        self,
+        sig_ids: "np.ndarray",
+        times: "np.ndarray",
+        sig_table: Sequence[AtomSignature],
+    ) -> None:
+        """Record a time-ordered batch of check-ins as array operations.
+
+        ``sig_ids[i]`` indexes ``sig_table`` to give event *i*'s signature;
+        ``times`` must be non-decreasing and start no earlier than the last
+        recorded event.  The resulting estimator state (rings, counts,
+        versions, timestamps) is bit-identical to calling
+        :meth:`record_checkin` once per event in order: bucket membership
+        uses the same floor division, rings are per-signature so grouping by
+        signature preserves each ring's append order, and pruning is a
+        monotone left-trim — pruning once at each group's last timestamp
+        retires exactly the buckets the per-event prunes would have.
+        """
+        n = len(times)
+        if n == 0:
+            return
+        t0 = float(times[0])
+        if self._last_event_time is not None and t0 < self._last_event_time:
+            raise ValueError(
+                f"check-ins must be recorded in time order "
+                f"(got {t0} after {self._last_event_time})"
+            )
+        if n > 1 and bool(np.any(np.diff(times) < 0.0)):
+            raise ValueError("batch timestamps must be non-decreasing")
+        buckets = np.floor_divide(times, self._bucket_width).astype(np.int64)
+        order = np.argsort(sig_ids, kind="stable")
+        sorted_sids = np.asarray(sig_ids)[order]
+        boundaries = np.nonzero(np.diff(sorted_sids))[0] + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [n]))
+        for s, e in zip(starts, ends):
+            sig = frozenset(sig_table[int(sorted_sids[s])])
+            idx = order[s:e]  # stable sort: ascending ⇒ original event order
+            ring = self._buckets.get(sig)
+            if ring is None:
+                ring = self._buckets[sig] = deque()
+                if sig not in self._prior:
+                    self._signature_version += 1
+            grp = buckets[idx]
+            uniq, counts = np.unique(grp, return_counts=True)
+            i = 0
+            if ring and len(uniq) and ring[-1][0] == int(uniq[0]):
+                ring[-1][1] += int(counts[0])
+                i = 1
+            for j in range(i, len(uniq)):
+                ring.append([int(uniq[j]), int(counts[j])])
+            self._counts[sig] += int(e - s)
+            self._prune(sig, float(times[int(idx[-1])]))
+        if self._first_event_time is None:
+            self._first_event_time = t0
+        self._last_event_time = float(times[-1])
+        self._total_checkins += n
 
     def _prune(self, sig: AtomSignature, now: float) -> None:
         """Retire buckets that lie entirely before ``now - window``."""

@@ -81,6 +81,10 @@ class ExperimentConfig:
     #: decisions and metrics bit-identical for any value).  Forwarded to
     #: ``SimulationConfig.num_shards``.
     num_shards: int = 1
+    #: Run the engine's vectorized hot path (struct-of-arrays device state +
+    #: numpy batch kernels).  Decisions and metrics are bit-identical to the
+    #: scalar oracle; forwarded to ``SimulationConfig.vectorized_dispatch``.
+    vectorized: bool = False
 
     def __post_init__(self) -> None:
         if self.num_devices <= 0 or self.num_jobs <= 0:
@@ -105,6 +109,7 @@ class ExperimentConfig:
             horizon=self.horizon,
             seed=self.seed_for("simulation"),
             num_shards=self.num_shards,
+            vectorized_dispatch=self.vectorized,
         )
 
     # ------------------------------------------------------------------ #
@@ -156,6 +161,10 @@ class ExperimentConfig:
     def with_shards(self, num_shards: int) -> "ExperimentConfig":
         """Copy of this config running on ``num_shards`` device shards."""
         return replace(self, num_shards=num_shards)
+
+    def with_vectorized(self, vectorized: bool = True) -> "ExperimentConfig":
+        """Copy of this config on the vectorized (or scalar) hot path."""
+        return replace(self, vectorized=vectorized)
 
 
 def _scaled_workload(

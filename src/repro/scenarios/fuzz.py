@@ -16,8 +16,9 @@ the repo relies on:
 * a short simulation produces finite, non-negative metrics (JCTs,
   round-completion times, rates);
 * the metrics row is **byte-identical across shard counts** — and, on
-  request, across sweep worker counts — extending the determinism contract
-  of ``docs/ARCHITECTURE.md`` to every sampled composition.
+  request, across sweep worker counts and across the scalar vs vectorized
+  dispatch paths (``--vectorized`` twin mode) — extending the determinism
+  contract of ``docs/ARCHITECTURE.md`` to every sampled composition.
 
 Shrunk failing examples graduate into pinned regression tests
 (``tests/scenarios/test_fuzz_regressions.py``); the ``compress_arrivals``
@@ -217,9 +218,15 @@ def check_scenario(
     *,
     shards: Sequence[int] = (1, 2),
     check_workers: bool = False,
+    vectorized: bool = False,
     policy: str = FUZZ_POLICY,
 ) -> None:
     """Assert every fuzzed invariant for one (spec, base config) pair.
+
+    With ``vectorized=True``, every shard count additionally runs a twin on
+    the struct-of-arrays hot path (``ExperimentConfig.with_vectorized``)
+    whose metrics row must be byte-identical to the scalar run — the fuzz
+    leg of the vectorized-identity contract.
 
     Raises ``AssertionError`` on the first violation; hypothesis shrinks
     the example, and the shrunk case belongs in
@@ -235,6 +242,16 @@ def check_scenario(
         row = metrics_row(spec.name, policy, metrics)
         _check_row_sane(row)
         rows[num_shards] = json.dumps(row, sort_keys=True)
+        if vectorized:
+            vec_env = spec.build_environment(config.with_vectorized(True))
+            vec_metrics = run_policy(vec_env, policy)
+            vec_row = json.dumps(
+                metrics_row(spec.name, policy, vec_metrics), sort_keys=True
+            )
+            assert vec_row == rows[num_shards], (
+                f"vectorized identity violated at num_shards={num_shards}: "
+                f"scalar vs vectorized produced different metrics rows"
+            )
     reference = rows[shards[0]]
     for num_shards in shards[1:]:
         assert rows[num_shards] == reference, (
@@ -308,6 +325,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="additionally assert sweep-row identity across worker counts "
         "(slower; fork start method only)",
     )
+    parser.add_argument(
+        "--vectorized", action="store_true",
+        help="additionally run a vectorized-dispatch twin at every shard "
+        "count and assert its metrics row is byte-identical to the scalar "
+        "run",
+    )
     args = parser.parse_args(argv)
     if args.budget <= 0:
         parser.error("--budget must be positive")
@@ -333,12 +356,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             base,
             shards=tuple(args.shards),
             check_workers=args.check_workers,
+            vectorized=args.vectorized,
         )
 
     fuzz()
     print(
         f"scenario fuzz: {args.budget} examples passed "
-        f"(shards={tuple(args.shards)}, check_workers={args.check_workers})"
+        f"(shards={tuple(args.shards)}, check_workers={args.check_workers}, "
+        f"vectorized={args.vectorized})"
     )
     return 0
 

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -11,6 +10,23 @@ from ..core.types import DeviceProfile
 
 #: Seconds per day, used for the one-job-per-day realism constraint (§5.1).
 SECONDS_PER_DAY = 24 * 3600.0
+
+
+def day_index(now: float) -> int:
+    """Calendar day a timestamp belongs to, for the one-job-per-day budget.
+
+    Every daily-limit decision in the engine — recording participation,
+    re-checking eligibility mid-dispatch, and unparking benched devices —
+    must agree on which day a timestamp falls in, or a device parked "until
+    tomorrow" can be unparked on a day where the budget check still says
+    "today".  The canonical form is float floor-division, ``now //
+    86400.0``, which is computed exactly (fmod-based, no intermediate
+    quotient rounding); ``numpy.floor_divide`` implements the same
+    algorithm, which keeps the vectorized engine's day masks bit-identical
+    to this scalar path at exact midnight boundaries and at floats one ULP
+    below them (``tests/sim/test_dispatch.py`` pins both).
+    """
+    return int(now // SECONDS_PER_DAY)
 
 
 class DeviceStatus(enum.Enum):
@@ -91,7 +107,7 @@ class DeviceRuntime:
         self.status = DeviceStatus.BUSY
         self.current_job = job_id
         self.current_request = request_id
-        self.last_participation_day = int(math.floor(now / SECONDS_PER_DAY))
+        self.last_participation_day = day_index(now)
 
     def finish_task(self, now: float, success: bool) -> None:
         if self.status is not DeviceStatus.BUSY:
@@ -111,7 +127,7 @@ class DeviceRuntime:
     def participated_today(self, now: float) -> bool:
         if self.last_participation_day is None:
             return False
-        return self.last_participation_day == int(math.floor(now / SECONDS_PER_DAY))
+        return self.last_participation_day == day_index(now)
 
     def can_take_task(self, now: float, enforce_daily_limit: bool = True) -> bool:
         """Whether the device may be offered to a job right now."""
@@ -124,4 +140,4 @@ class DeviceRuntime:
         return True
 
 
-__all__ = ["DeviceRuntime", "DeviceStatus", "SECONDS_PER_DAY"]
+__all__ = ["DeviceRuntime", "DeviceStatus", "SECONDS_PER_DAY", "day_index"]

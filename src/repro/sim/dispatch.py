@@ -38,8 +38,7 @@ import heapq
 from collections import Counter
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-#: Seconds per day (daily-limit parking granularity).
-_DAY = 24 * 3600.0
+from .device import day_index
 
 
 class PendingRequestPool:
@@ -145,7 +144,11 @@ class IdleDevicePool:
     def promote(self, now: float) -> None:
         """Return parked devices whose blackout day has ended to dispatch."""
         heap = self._parked_heap
-        today = int(now // _DAY)
+        # Must match DeviceRuntime's day accounting exactly (see day_index):
+        # if promote() thought a boundary timestamp was "tomorrow" while
+        # participated_today() said "today", a parked device would be
+        # promoted and then re-parked on every dispatch sweep.
+        today = day_index(now)
         while heap and heap[0][0] <= today:
             _, device_id = heapq.heappop(heap)
             entry = self._parked.get(device_id)

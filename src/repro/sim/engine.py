@@ -109,7 +109,7 @@ from ..core.requirements import signature_of
 from ..core.types import DeviceProfile, JobSpec, ResourceRequest
 from ..traces.device_trace import DeviceAvailabilityTrace
 from ..traces.workloads import Workload
-from .device import DeviceRuntime, DeviceStatus
+from .device import SECONDS_PER_DAY, DeviceRuntime, DeviceStatus, day_index
 from .dispatch import IdleDevicePool, PendingRequestPool, dispatch_pools
 from .events import Event, EventQueue, EventType
 from .job import JobRuntime, RoundCompletion
@@ -122,6 +122,7 @@ from .shard import (
     build_shards,
     compute_signatures,
 )
+from .vector import STATUS_BUSY, STATUS_IDLE, STATUS_OFFLINE, VectorDeviceState
 
 
 @dataclass
@@ -156,6 +157,14 @@ class SimulationConfig:
     #: ``num_shards > 1``.  Mainly for tests that exercise the sharded path
     #: with a single shard.
     sharded_dispatch: Optional[bool] = None
+    #: Run the vectorized hot path: struct-of-arrays device state
+    #: (:mod:`repro.sim.vector`), batched fold kernels for static check-in/
+    #: checkout runs, mask-based idle dispatch and batched latency draws.
+    #: Decisions and metrics are **bit-identical** to the scalar oracle for
+    #: any shard count (enforced by golden fixtures, the benchmark's
+    #: blake2b gates and the scenario fuzzer's twin mode).  Implies the
+    #: coordinator/shard engine even at ``num_shards=1``.
+    vectorized_dispatch: bool = False
     #: Process-pool workers for the per-shard stream builds (0/1 = inline).
     #: Worth enabling on multi-core hosts; on a single core the workers are
     #: pure overhead, hence the conservative default.
@@ -171,6 +180,16 @@ class SimulationConfig:
             raise ValueError("max_events must be positive")
         if self.num_shards < 1:
             raise ValueError("num_shards must be >= 1")
+        if self.vectorized_dispatch and self.sharded_dispatch is False:
+            raise ValueError(
+                "vectorized_dispatch runs on the coordinator/shard engine; "
+                "it cannot be combined with sharded_dispatch=False"
+            )
+        if self.vectorized_dispatch and not self.indexed_dispatch:
+            raise ValueError(
+                "vectorized_dispatch requires indexed_dispatch=True "
+                "(the legacy scan path stays scalar)"
+            )
         if self.use_sharded_engine and not self.indexed_dispatch:
             raise ValueError(
                 "the sharded engine subsumes the indexed fast path; "
@@ -180,6 +199,8 @@ class SimulationConfig:
     @property
     def use_sharded_engine(self) -> bool:
         """Whether runs use the coordinator/shard engine."""
+        if self.vectorized_dispatch:
+            return True
         if self.sharded_dispatch is not None:
             return bool(self.sharded_dispatch)
         return self.num_shards > 1
@@ -274,6 +295,13 @@ class Simulator:
         self._sharded = bool(self.config.use_sharded_engine)
         self._num_shards = int(self.config.num_shards)
         self._shards: List["DeviceShard"] = []
+        #: Vectorized hot path: struct-of-arrays device state + batched
+        #: kernels (built in ``_setup_vector_state`` on sharded setup).
+        self._vectorized = bool(self.config.vectorized_dispatch)
+        self._vec: Optional[VectorDeviceState] = None
+        #: Deferred assignments awaiting their batched latency draw:
+        #: ``(slot, profile, job, request, seq, session_end, plan_version)``.
+        self._assign_buf: list = []
         #: Shards whose queues the coordinator touched since their head key
         #: was last cached (assignment messages land mid-decision).
         self._dirty_shards: set = set()
@@ -417,11 +445,19 @@ class Simulator:
         they can reschedule work on any source.
         """
         self._setup_sharded()
+        if self._vectorized:
+            self._setup_vector_state()
         horizon = self.config.horizon
         queue = self.queue
         shards = self._shards
         num_shards = len(shards)
         profile_shards = self.config.profile_shards
+        drain = self._drain_shard_vec if self._vectorized else self._drain_shard
+        handle_response = (
+            self._handle_shard_response_vec
+            if self._vectorized
+            else self._handle_shard_response
+        )
         heads = [sh.head_key() for sh in shards]
         dirty = self._dirty_shards
         q_key = queue.peek_key() or INF_KEY
@@ -465,7 +501,7 @@ class Simulator:
                     shard.heap
                 )
                 self.now = t
-                self._handle_shard_response(shard, device_id, request_id, success)
+                handle_response(shard, device_id, request_id, success)
                 self._events_processed += 1
                 shard.events_processed += 1
                 if self._events_processed >= self.config.max_events:
@@ -474,10 +510,14 @@ class Simulator:
                         "or raise SimulationConfig.max_events"
                     )
                 q_key = queue.peek_key() or INF_KEY
-                dirty.add(best_i)
-                for i in dirty:
-                    heads[i] = shards[i].head_key()
-                dirty.clear()
+                if num_shards == 1:
+                    heads[0] = shard.head_key()
+                    dirty.clear()
+                else:
+                    dirty.add(best_i)
+                    for i in dirty:
+                        heads[i] = shards[i].head_key()
+                    dirty.clear()
                 if self._unfinished_jobs == 0:
                     break
                 continue
@@ -489,10 +529,10 @@ class Simulator:
                     limit = heads[i]
             if profile_shards:
                 t0 = time.perf_counter()
-                self._drain_shard(shard, limit, horizon)
+                drain(shard, limit, horizon)
                 shard.drain_time_s += time.perf_counter() - t0
             else:
-                self._drain_shard(shard, limit, horizon)
+                drain(shard, limit, horizon)
             heads[best_i] = shard.head_key()
             dirty.discard(best_i)
         self._finalise()
@@ -621,11 +661,533 @@ class Simulator:
         ):
             self._try_assign(device)
 
+    # ------------------------------------------------------------------ #
+    # Vectorized hot path (SimulationConfig.vectorized_dispatch)
+    # ------------------------------------------------------------------ #
+    def _setup_vector_state(self) -> None:
+        """Build the struct-of-arrays device state and stream array twins."""
+        self._vec = VectorDeviceState(
+            self._device_profiles, self._device_signatures
+        )
+        for shard in self._shards:
+            shard.attach_vector_arrays(self._vec.slots_for(shard.st_dev))
+
+    def _vec_profile_of(self, device_id: int) -> DeviceProfile:
+        return self.devices[device_id].profile
+
+    #: Below this run length the per-event loop beats the numpy kernel:
+    #: a fold_slice call costs ~100 us of array-op overhead regardless of
+    #: size, while a Python-loop event costs well under 1 us.  The two
+    #: paths replay identical transition functions, so the cutoff affects
+    #: only wall time, never results (both identity gates run either way).
+    _FOLD_KERNEL_MIN = 32
+
+    def _fold_into(self, shard: DeviceShard, lo: int, hi: int) -> int:
+        """Fold static events ``[lo, hi)`` of ``shard`` into the arrays.
+
+        Large runs go through one batched kernel; short runs (the gaps
+        between assignment candidates are typically a handful of events)
+        replay the same transitions in a plain loop.  The non-busy
+        check-ins reach the policy in event order either way — through the
+        batch hook or the scalar hook, which are pinned state-identical —
+        and the shard's check-in counter advances exactly as the scalar
+        path's would.
+        """
+        if hi - lo < self._FOLD_KERNEL_MIN:
+            return self._fold_small(shard, lo, hi)
+        ci_slots, ci_times = self._vec.fold_slice(
+            shard.sa_time[lo:hi],
+            shard.sa_slot[lo:hi],
+            shard.sa_send[lo:hi],
+            shard.sa_ci[lo:hi],
+        )
+        n_ci = int(ci_slots.size)
+        if n_ci:
+            shard.metrics.total_checkins += n_ci
+            self.policy.on_device_checkin_batch(
+                self._vec.ids[ci_slots],
+                ci_times,
+                self._vec.sig_id[ci_slots],
+                self._vec.sig_table,
+                self._vec_profile_of,
+            )
+        self.now = shard.st_time[hi - 1]
+        return hi - lo
+
+    def _fold_small(self, shard: DeviceShard, lo: int, hi: int) -> int:
+        """Per-event twin of the fold kernel for short runs.
+
+        Replays exactly the transitions :meth:`VectorDeviceState.fold_slice`
+        batches — busy check-ins max-extend the session, non-busy check-ins
+        re-open it, checkouts end an idle session they cover — against the
+        same arrays, reading the stream through its Python lists (cheaper
+        than numpy scalar indexing at this size).
+        """
+        vec = self._vec
+        status = vec.status
+        sess = vec.sess
+        profiles = vec.profiles
+        st_time = shard.st_time
+        st_send = shard.st_send
+        st_kind = shard.st_kind
+        sl_slot = shard.sl_slot
+        metrics = shard.metrics
+        policy_checkin = self.policy.on_device_checkin
+        for p in range(lo, hi):
+            slot = sl_slot[p]
+            send = st_send[p]
+            if st_kind[p] == KIND_CHECKIN:
+                if status[slot] == STATUS_BUSY:
+                    if send > sess[slot]:
+                        sess[slot] = send
+                else:
+                    status[slot] = STATUS_IDLE
+                    sess[slot] = send
+                    metrics.total_checkins += 1
+                    policy_checkin(profiles[slot], st_time[p])
+            elif status[slot] == STATUS_IDLE and sess[slot] <= send:
+                status[slot] = STATUS_OFFLINE
+        self.now = st_time[hi - 1]
+        return hi - lo
+
+    #: Slices at or below this length are drained by the per-event loop
+    #: (:meth:`_drain_small`); response-dominated workloads call the drain
+    #: with a couple of static events at a time, where even tiny numpy
+    #: slice/mask ops cost more than a plain loop.
+    _DRAIN_SCALAR_MAX = 64
+
+    def _drain_small(self, shard: DeviceShard, lo: int, hi: int) -> tuple:
+        """Per-event twin of the drain body for short slices.
+
+        Replays the scalar engine's loop against the array state: each
+        check-in transitions (busy max-extend or re-open + policy hook +
+        dispatch attempt), each checkout closes a covered idle session.
+        After an assignment flush, subsequent events are re-checked
+        against the shard's response head — exactly the scalar loop's
+        per-event heap comparison — so a freshly scheduled response stops
+        the drain in the same place.  Returns ``(processed, cursor)``.
+        """
+        vec = self._vec
+        status = vec.status
+        sess = vec.sess
+        last_day = vec.last_day
+        profiles = vec.profiles
+        st_time = shard.st_time
+        st_seq = shard.st_seq
+        st_send = shard.st_send
+        st_kind = shard.st_kind
+        sl_slot = shard.sl_slot
+        heap = shard.heap
+        metrics = shard.metrics
+        pending = self._pending
+        enforce_daily = self.config.enforce_daily_limit
+        policy_checkin = self.policy.on_device_checkin
+        flushed = False
+        p = lo
+        while p < hi:
+            t = st_time[p]
+            if flushed and heap:
+                h0 = heap[0][0]
+                if t > h0 or (t == h0 and st_seq[p] > heap[0][1]):
+                    break
+            slot = sl_slot[p]
+            send = st_send[p]
+            self.now = t
+            if st_kind[p] == KIND_CHECKIN:
+                if status[slot] == STATUS_BUSY:
+                    if send > sess[slot]:
+                        sess[slot] = send
+                else:
+                    status[slot] = STATUS_IDLE
+                    sess[slot] = send
+                    metrics.total_checkins += 1
+                    policy_checkin(profiles[slot], t)
+                    if pending and t < send and not (
+                        enforce_daily
+                        and last_day[slot] == int(t // SECONDS_PER_DAY)
+                    ):
+                        self._try_assign_vec(slot)
+                        if self._assign_buf:
+                            self._flush_assignments()
+                            flushed = True
+            elif status[slot] == STATUS_IDLE and sess[slot] <= send:
+                status[slot] = STATUS_OFFLINE
+            p += 1
+        return p - lo, p
+
+    def _drain_shard_vec(
+        self, shard: DeviceShard, limit: tuple, horizon: float
+    ) -> None:
+        """Vectorized twin of :meth:`_drain_shard`.
+
+        The slice bound (``limit``, the horizon, the shard's own response
+        head) is resolved once by binary search instead of per event.
+        With no pending demand the whole slice folds in one kernel.  With
+        demand pending, *candidate* check-ins — events the scalar loop
+        would offer to the policy — are located with one mask (non-busy at
+        slice start, day budget available; an over-approximation re-checked
+        exactly per candidate) and processed scalar-on-arrays in order,
+        while the assignment-free gaps between them fold as kernels.  An
+        assignment can schedule a response that precedes the remaining
+        static events; the drain then stops early, exactly like the scalar
+        loop's per-event heap check.
+        """
+        vec = self._vec
+        sa_time = shard.sa_time
+        sa_seq = shard.sa_seq
+        sa_slot = shard.sa_slot
+        sa_send = shard.sa_send
+        sa_ci = shard.sa_ci
+        cursor = shard.cursor
+        heap = shard.heap
+        st_time = shard.st_time
+        st_seq = shard.st_seq
+        n_static = len(st_time)
+        bt, bs = limit
+        if heap:
+            h0, h1 = heap[0][0], heap[0][1]
+            if h0 < bt or (h0 == bt and h1 < bs):
+                # Static events must stay strictly before the response.
+                bt, bs = h0, h1 - 1
+        # One list read usually settles the slice bound: in
+        # response-dominated stretches the next static event lies past
+        # the limit, so the binary searches can be skipped entirely.
+        if bt > horizon:
+            if cursor >= n_static or st_time[cursor] > horizon:
+                hi = cursor
+            else:
+                hi = int(sa_time.searchsorted(horizon, "right"))
+        elif cursor >= n_static or st_time[cursor] > bt or (
+            st_time[cursor] == bt and st_seq[cursor] > bs
+        ):
+            hi = cursor
+        else:
+            lo_eq = int(sa_time.searchsorted(bt, "left"))
+            hi_eq = int(sa_time.searchsorted(bt, "right"))
+            hi = lo_eq + int(sa_seq[lo_eq:hi_eq].searchsorted(bs, "right"))
+        budget = self.config.max_events - self._events_processed
+        if hi - cursor > budget:
+            hi = cursor + budget
+        processed = 0
+        pending = self._pending
+        enforce_daily = self.config.enforce_daily_limit
+        status = vec.status
+        sess = vec.sess
+        last_day = vec.last_day
+        metrics = shard.metrics
+        policy_checkin = self.policy.on_device_checkin
+        profiles = vec.profiles
+        st_send = shard.st_send
+        sl_slot = shard.sl_slot
+        if 0 < hi - cursor <= self._DRAIN_SCALAR_MAX:
+            # Short slices (the common case in response-dominated
+            # stretches) skip the mask machinery: a per-event loop over
+            # the shard's Python lists replays the scalar engine's drain
+            # exactly, including the per-event response-head check.
+            processed, cursor = self._drain_small(shard, cursor, hi)
+            hi = cursor
+        while cursor < hi:
+            if not pending:
+                processed += self._fold_into(shard, cursor, hi)
+                cursor = hi
+                break
+            base = cursor
+            slots_v = sa_slot[base:hi]
+            cand = sa_ci[base:hi] & (status[slots_v] != STATUS_BUSY)
+            if enforce_daily:
+                days = np.floor_divide(
+                    sa_time[base:hi], SECONDS_PER_DAY
+                ).astype(np.int64)
+                cand &= last_day[slots_v] != days
+            cand_pos = np.nonzero(cand)[0]
+            if cand_pos.size == 0:
+                processed += self._fold_into(shard, base, hi)
+                cursor = hi
+                break
+            for rel in cand_pos.tolist():
+                p = base + rel
+                if p >= hi:
+                    break  # bound clamped below a scheduled response
+                if not pending:
+                    break  # outer loop folds the assignment-free remainder
+                if p > cursor:
+                    processed += self._fold_into(shard, cursor, p)
+                t = st_time[p]
+                slot = sl_slot[p]
+                send = st_send[p]
+                self.now = t
+                if status[slot] == STATUS_BUSY:
+                    # Became busy earlier in this drain: the new session
+                    # extends the online window (scalar busy-check-in).
+                    if send > sess[slot]:
+                        sess[slot] = send
+                else:
+                    status[slot] = STATUS_IDLE
+                    sess[slot] = send
+                    metrics.total_checkins += 1
+                    policy_checkin(profiles[slot], t)
+                    if pending and t < send and not (
+                        enforce_daily
+                        and last_day[slot] == int(t // SECONDS_PER_DAY)
+                    ):
+                        self._try_assign_vec(slot)
+                        if self._assign_buf:
+                            self._flush_assignments()
+                            # A freshly scheduled response may precede the
+                            # remaining static events; clamp the slice
+                            # bound so the drain hands control back exactly
+                            # where the scalar per-event heap check would
+                            # have broken.  Responses usually land far past
+                            # the slice (task durations are minutes), so a
+                            # one-read time comparison skips the binary
+                            # searches almost every time.
+                            if heap and heap[0][0] <= st_time[hi - 1]:
+                                h0, h1 = heap[0][0], heap[0][1]
+                                lo_eq = int(sa_time.searchsorted(h0, "left"))
+                                hi_eq = int(sa_time.searchsorted(h0, "right"))
+                                bound = lo_eq + int(
+                                    sa_seq[lo_eq:hi_eq].searchsorted(
+                                        h1 - 1, "right"
+                                    )
+                                )
+                                if bound < hi:
+                                    hi = bound
+                processed += 1
+                cursor = p + 1
+            else:
+                if cursor < hi:
+                    processed += self._fold_into(shard, cursor, hi)
+                    cursor = hi
+                break
+        shard.cursor = cursor
+        shard.events_processed += processed
+        self._events_processed += processed
+        if processed >= budget:
+            raise RuntimeError(
+                "simulation exceeded max_events; check for livelock or "
+                "raise SimulationConfig.max_events"
+            )
+
+    def _handle_shard_response_vec(
+        self, shard: DeviceShard, device_id: int, request_id: int, success: bool
+    ) -> None:
+        """Vectorized twin of :meth:`_handle_shard_response` (array state)."""
+        vec = self._vec
+        slot = vec.slot_of[device_id]
+        request = self._requests.get(request_id)
+        now = self.now
+        if success:
+            vec.tasks_completed[slot] += 1
+            shard.metrics.total_responses += 1
+        else:
+            vec.tasks_failed[slot] += 1
+            shard.metrics.total_failures += 1
+        # The session end cannot change inside this handler (folds never
+        # run here), so one array read serves both the status transition
+        # and the re-dispatch guard.  The status itself is re-read below:
+        # completing a round can run a dispatch sweep that assigns this
+        # very slot.
+        sess_open = now < vec.sess[slot]
+        vec.status[slot] = STATUS_IDLE if sess_open else STATUS_OFFLINE
+        if success and request is not None and request.is_open:
+            request.record_response(device_id, now)
+            self.policy.on_response(request, vec.profiles[slot], now)
+            self._maybe_complete_request(request)
+        elif request is not None and not request.is_open:
+            # Aborted round: the device keeps its daily budget.
+            vec.last_day[slot] = -1
+        if (
+            sess_open
+            and self._pending
+            and vec.status[slot] == STATUS_IDLE
+            and not (
+                self.config.enforce_daily_limit
+                and vec.last_day[slot] == int(now // SECONDS_PER_DAY)
+            )
+        ):
+            self._try_assign_vec(slot)
+            self._flush_assignments()
+
+    def _try_assign_vec(self, slot: int) -> None:
+        """Vectorized twin of :meth:`_try_assign`: same policy consultation
+        and validity checks, state transition on the arrays, and the latency
+        draw deferred to :meth:`_flush_assignments` (the response's sequence
+        number and plan version are claimed here, in decision order)."""
+        vec = self._vec
+        profile = vec.profiles[slot]
+        request = self.policy.assign(profile, self.now)
+        if request is None:
+            return
+        if not request.is_open or request.remaining_demand <= 0:
+            return
+        if request.is_assigned(profile.device_id):
+            return
+        job = self.jobs.get(request.job_id)
+        if job is None:
+            raise ValueError(
+                f"policy assigned device {profile.device_id} to unknown job "
+                f"{request.job_id}"
+            )
+        if not job.spec.requirement.is_eligible(profile):
+            raise ValueError(
+                f"policy assigned ineligible device {profile.device_id} to job "
+                f"{request.job_id} ({job.spec.requirement.name})"
+            )
+        request.record_assignment(profile.device_id, self.now)
+        if request.remaining_demand == 0:
+            self._pending.remove(request.job_id)
+        vec.status[slot] = STATUS_BUSY
+        vec.last_day[slot] = int(self.now // SECONDS_PER_DAY)
+        self._assign_buf.append(
+            (
+                slot,
+                profile,
+                job,
+                request,
+                self.queue.next_seq(),
+                float(vec.sess[slot]),
+                (
+                    self.policy.plan_version
+                    if self._policy_has_plan_version
+                    else None
+                ),
+            )
+        )
+
+    def _flush_assignments(self) -> None:
+        """Draw outcomes for the buffered assignments and queue responses.
+
+        Scheduling a response never influences a later decision within the
+        same dispatch sweep (it only lands on a shard heap), so deferring
+        the draws to one batched kernel is decision-identical to the scalar
+        engine's draw-per-assignment — sequence numbers were already claimed
+        in assignment order.
+        """
+        buf = self._assign_buf
+        if not buf:
+            return
+        self._assign_buf = []
+        now = self.now
+        shards = self._shards
+        num_shards = self._num_shards
+        dirty = self._dirty_shards
+        if len(buf) == 1:
+            # Size-1 flushes dominate contended workloads; the batch kernel
+            # already falls back to a per-element loop there, so skip its
+            # list plumbing and draw directly (bit-identical by contract).
+            _slot, profile, job, request, seq, send, pv = buf[0]
+            outcomes = (
+                self.latency.sample_outcome(job.spec, profile, now=now),
+            )
+        else:
+            outcomes = self.latency.sample_outcomes_batch(
+                [entry[2].spec for entry in buf],
+                [entry[1] for entry in buf],
+                now=now,
+            )
+        for (slot, profile, job, request, seq, send, pv), (
+            duration,
+            dropped,
+        ) in zip(buf, outcomes):
+            finishes_in_session = now + duration <= send
+            success = (not dropped) and finishes_in_session
+            if success:
+                finish_time = now + duration
+            else:
+                finish_time = min(now + duration, max(send, now))
+            shard_index = profile.device_id % num_shards
+            shards[shard_index].schedule_response(
+                finish_time,
+                seq,
+                profile.device_id,
+                request.request_id,
+                job.job_id,
+                success,
+                plan_version=pv,
+            )
+            dirty.add(shard_index)
+
+    def _dispatch_idle_devices_vec(self) -> None:
+        """Mask-based twin of the idle-pool dispatch sweep.
+
+        The candidate mask (idle, session open, daily budget available,
+        signature intersects a pending requirement) enumerates exactly the
+        devices the scalar bucket walk visits, in the same ascending
+        device-id order (slots are id-ranked); the pending-name narrowing
+        on ``names_version`` changes mirrors the bucket re-filter.
+        """
+        pending = self._pending
+        vec = self._vec
+        now = self.now
+        names = pending.pending_requirements()
+        version = pending.names_version
+        elig = vec.sig_eligibility(names)
+        sig_id = vec.sig_id
+        status = vec.status
+        # Filter on the (usually small) idle subset rather than running
+        # every predicate over the full device population: one full-width
+        # compare + nonzero, then per-idle-slot narrowing.
+        idle = np.nonzero(status == STATUS_IDLE)[0]
+        if idle.size:
+            keep = vec.sess[idle] > now
+            if self.config.enforce_daily_limit:
+                keep &= vec.last_day[idle] != day_index(now)
+            keep &= elig[sig_id[idle]]
+            idle = idle[keep]
+        queue = idle
+        qlist = queue.tolist()
+        i = 0
+        n = len(qlist)
+        while i < n:
+            if not pending:
+                break
+            if pending.names_version != version:
+                # Demand narrowed mid-sweep: re-filter the unvisited
+                # remainder in one array op (the scalar path's bucket
+                # re-filter) instead of re-checking eligibility per slot.
+                version = pending.names_version
+                names = pending.pending_requirements()
+                elig = vec.sig_eligibility(names)
+                queue = queue[i:]
+                queue = queue[elig[sig_id[queue]]]
+                qlist = queue.tolist()
+                n = len(qlist)
+                i = 0
+                continue
+            slot = qlist[i]
+            i += 1
+            if status[slot] != STATUS_IDLE:
+                continue
+            self._try_assign_vec(slot)
+        self._flush_assignments()
+
+    def _sync_vector_state(self) -> None:
+        """Copy the final array state back onto the DeviceRuntime objects.
+
+        Post-run inspection code (tests, notebooks) reads
+        ``sim.devices[...].status`` etc.; the vectorized run never mutated
+        those objects, so mirror the arrays back once at finalisation.
+        ``current_job``/``current_request`` are not tracked per device on
+        the vectorized path and stay ``None``.
+        """
+        vec = self._vec
+        status_of = (DeviceStatus.OFFLINE, DeviceStatus.IDLE, DeviceStatus.BUSY)
+        for slot, device_id in enumerate(vec.ids.tolist()):
+            device = self.devices[device_id]
+            device.status = status_of[int(vec.status[slot])]
+            device.session_end = float(vec.sess[slot])
+            day = int(vec.last_day[slot])
+            device.last_participation_day = day if day >= 0 else None
+            device.tasks_completed = int(vec.tasks_completed[slot])
+            device.tasks_failed = int(vec.tasks_failed[slot])
+
     def shard_stats(self) -> List[Dict[str, object]]:
         """Per-shard event/message counters (sharded runs only)."""
         return [shard.stats() for shard in self._shards]
 
     def _finalise(self) -> None:
+        if self._vectorized and self._vec is not None:
+            self._sync_vector_state()
         horizon = self.config.horizon
         for job in self.jobs.values():
             if not job.is_finished:
@@ -788,10 +1350,16 @@ class Simulator:
         # one-job-per-day limit: the round's work was discarded and the device
         # is still charging/idle, so it may be re-matched.  Devices still
         # executing the aborted task are released when their response fires.
-        for device_id in request.assigned:
-            device = self.devices[device_id]
-            if device.status is not DeviceStatus.BUSY:
-                self._refund_daily_budget(device)
+        if self._vectorized and self._vec is not None:
+            for device_id in request.assigned:
+                slot = self._vec.slot_of[device_id]
+                if self._vec.status[slot] != STATUS_BUSY:
+                    self._vec.last_day[slot] = -1
+        else:
+            for device_id in request.assigned:
+                device = self.devices[device_id]
+                if device.status is not DeviceStatus.BUSY:
+                    self._refund_daily_budget(device)
         # Retry the round immediately with a fresh request.
         self._open_request(job)
         self._dispatch_idle_devices()
@@ -936,6 +1504,9 @@ class Simulator:
         the legacy full scan.
         """
         if not self._has_unsatisfied_request():
+            return
+        if self._vectorized and self._vec is not None:
+            self._dispatch_idle_devices_vec()
             return
         if self._sharded:
             cfg_daily = self.config.enforce_daily_limit

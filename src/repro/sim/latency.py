@@ -71,7 +71,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -100,6 +100,34 @@ def _mix64(z: int) -> int:
     z = ((z ^ (z >> 30)) * _SM_MUL1) & _MASK64
     z = ((z ^ (z >> 27)) * _SM_MUL2) & _MASK64
     return z ^ (z >> 31)
+
+
+def _mix64_array(z: "np.ndarray") -> "np.ndarray":
+    """SplitMix64 finalizer over a ``uint64`` array (wrapping arithmetic).
+
+    numpy's fixed-width uint64 ops wrap modulo 2^64, which is exactly the
+    ``& _MASK64`` of the scalar :func:`_mix64` — the two are bit-identical
+    hash for hash.
+    """
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(_SM_MUL1)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(_SM_MUL2)
+    return z ^ (z >> np.uint64(31))
+
+
+def _uniform_array(h: "np.ndarray") -> "np.ndarray":
+    """Map hash values to (0, 1) floats, bit-identical to ``_uniform``.
+
+    The scalar path computes ``(h + 1) / 2^64`` with arbitrary-precision
+    ints — ``h + 1`` can reach 2^64 exactly — then clamps results that
+    round to 1.0 down to the largest float below 1.0.  In uint64, ``h + 1``
+    wraps to 0 instead; both the wrap and the round-to-1.0 cases land in
+    the same clamp, so the results match for every hash value.  (Casting to
+    float *before* adding 1.0 would not: for ``h >= 2^53`` the two
+    roundings can differ by one ULP.)
+    """
+    hp1 = h + np.uint64(1)
+    f = hp1.astype(np.float64) * _INV_2_64
+    return np.where((hp1 == np.uint64(0)) | (f >= 1.0), _BELOW_ONE, f)
 
 
 #: ``(tier name, population fraction, comm-time scale)`` triples describing
@@ -407,6 +435,72 @@ class ResponseLatencyModel:
         duration, lost = self._sample_duration_parts(job, device, now, lossy=True)
         dropped = self.sample_failure(device)
         return duration, lost or dropped
+
+    def sample_outcomes_batch(
+        self,
+        jobs: "Sequence[JobSpec]",
+        devices: "Sequence[DeviceProfile]",
+        now: float = 0.0,
+    ) -> "list[Tuple[float, bool]]":
+        """Batched :meth:`sample_outcome` over parallel job/device lists.
+
+        Bit-identical to calling :meth:`sample_outcome` per element in
+        order.  The per-(device, draw) SplitMix64 hashing — the dominant
+        per-assignment cost in the scalar path, all Python big-int
+        arithmetic — is evaluated as uint64 array ops; the transcendental
+        compute/comm math stays per-element ``math.*`` because ``np.log`` /
+        ``np.exp`` are *not* bit-identical to libm on this platform (the
+        Box–Muller chain diverges in ~0.4% of draws).  With any
+        network-degradation knob active the draw count per assignment is
+        data-dependent (loss retries), so the batch falls back to the exact
+        scalar path per element.
+        """
+        n = len(devices)
+        if n == 0:
+            return []
+        cfg = self.config
+        if not self._per_device or cfg.degrades_network or n == 1:
+            return [
+                self.sample_outcome(jobs[i], devices[i], now=now)
+                for i in range(n)
+            ]
+        counts = self._draw_counts
+        ids = np.empty(n, dtype=np.uint64)
+        k0 = np.empty(n, dtype=np.uint64)
+        for i in range(n):
+            did = devices[i].device_id
+            k = counts.get(did, 0)
+            counts[did] = k + 4
+            ids[i] = did
+            k0[i] = k
+        base = (
+            np.uint64(self._master)
+            + ids * np.uint64(_DEVICE_STRIDE)
+            + k0 * np.uint64(_SM_GAMMA)
+        )[:, None] + np.arange(4, dtype=np.uint64) * np.uint64(_SM_GAMMA)
+        u = _uniform_array(_mix64_array(base)).tolist()
+        sigma = cfg.compute_sigma
+        scale = cfg.duration_scale
+        comm_min = cfg.comm_min
+        comm_span = cfg.comm_max - cfg.comm_min
+        out = []
+        for i in range(n):
+            u1, u2, u3, u4 = u[i]
+            device = devices[i]
+            job = jobs[i]
+            # Box–Muller, identical expression tree to the scalar path.
+            z = math.sqrt(-2.0 * math.log(u1)) * math.cos(_TWO_PI * u2)
+            compute = (
+                job.base_task_duration
+                * scale
+                * device.speed_factor
+                * math.exp(sigma * z)
+            )
+            comm = (comm_min + comm_span * u3) * self._comm_scale(
+                device.device_id
+            )
+            out.append((compute + comm, u4 > device.reliability))
+        return out
 
     def expected_duration(self, job: JobSpec, device: DeviceProfile) -> float:
         """Mean response time (no sampling); useful for estimators and tests.

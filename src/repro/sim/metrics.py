@@ -290,9 +290,22 @@ class SimulationMetrics:
     def jct_by_demand_percentile(
         self, percentiles: Sequence[float] = (25.0, 50.0, 75.0)
     ) -> Dict[float, float]:
-        """Average JCT of jobs whose total demand is below each percentile."""
+        """Average JCT of jobs at or below each demand percentile.
+
+        For each requested percentile ``p`` the cut is
+        ``np.percentile(total demands, p)`` and the bucket is the jobs whose
+        total demand is **inclusively** ``<= cut`` — a job sitting exactly
+        on the percentile value belongs to that percentile's bucket, and
+        ties at the cut are all included, so buckets are monotone supersets
+        as ``p`` grows.  The inclusive cut also guarantees every bucket for
+        ``p >= 0`` is non-empty when any job exists (the minimum-demand job
+        always qualifies), so the output is NaN-free by construction; an
+        empty metrics object (or a degenerate bucket) yields ``0.0`` rather
+        than ``NaN``.  Keys are normalised to ``float`` so callers indexing
+        with ``25`` vs ``25.0`` agree.
+        """
         if not self.jobs:
-            return {p: 0.0 for p in percentiles}
+            return {float(p): 0.0 for p in percentiles}
         totals = np.array([m.total_demand for m in self.jobs.values()], dtype=float)
         jcts = self.job_jcts()
         out: Dict[float, float] = {}
@@ -301,7 +314,7 @@ class SimulationMetrics:
             selected = [
                 jcts[j] for j, m in self.jobs.items() if m.total_demand <= cut
             ]
-            out[p] = float(np.mean(selected)) if selected else 0.0
+            out[float(p)] = float(np.mean(selected)) if selected else 0.0
         return out
 
 

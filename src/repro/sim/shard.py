@@ -218,6 +218,33 @@ class DeviceShard:
         #: Wall time the coordinator spent draining this shard's batches
         #: (populated only when the engine runs with ``profile_shards``).
         self.drain_time_s = 0.0
+        #: Numpy twins of the static stream (vectorized engine only; built
+        #: by :meth:`attach_vector_arrays`).
+        self.sa_time: Optional[np.ndarray] = None
+        self.sa_seq: Optional[np.ndarray] = None
+        self.sa_slot: Optional[np.ndarray] = None
+        self.sa_send: Optional[np.ndarray] = None
+        self.sa_ci: Optional[np.ndarray] = None
+
+    def attach_vector_arrays(self, slots: "np.ndarray") -> None:
+        """Build numpy twins of the static stream for the vectorized engine.
+
+        ``slots`` maps each stream event's device id to its global slot in
+        the engine's :class:`~repro.sim.vector.VectorDeviceState` (computed
+        once, vectorized, by the engine).  The Python lists stay around for
+        :meth:`head_key`; the arrays are what the batched drain kernels
+        slice.
+        """
+        self.sa_time = np.asarray(self.st_time, dtype=np.float64)
+        self.sa_seq = np.asarray(self.st_seq, dtype=np.int64)
+        self.sa_slot = np.asarray(slots, dtype=np.int64)
+        self.sa_send = np.asarray(self.st_send, dtype=np.float64)
+        self.sa_ci = (
+            np.asarray(self.st_kind, dtype=np.int8) == KIND_CHECKIN
+        )
+        #: Python-int twin of ``sa_slot`` for the engine's small-run fold
+        #: loop (plain list indexing beats numpy scalar indexing there).
+        self.sl_slot = self.sa_slot.tolist()
 
     # ------------------------------------------------------------------ #
     # Stream interface

@@ -1,0 +1,199 @@
+"""Struct-of-arrays device state for the vectorized engine hot path.
+
+With ``SimulationConfig(vectorized_dispatch=True)`` the coordinator/shard
+engine stops mutating per-device :class:`~repro.sim.device.DeviceRuntime`
+objects on the hot path and instead keeps the whole fleet's dynamic state in
+parallel numpy arrays indexed by *slot* (the device's rank in ascending
+device-id order):
+
+* ``status`` — 0 offline / 1 idle / 2 busy (``int8``),
+* ``sess`` — end of the current availability session,
+* ``last_day`` — calendar day of the last participation (``-1`` = never),
+* ``tasks_completed`` / ``tasks_failed`` — per-device outcome counters
+  (plain lists: they are only ever touched one slot at a time),
+* ``sig_id`` — index into the interned eligibility-signature table.
+
+Runs of static check-in/checkout events that cannot trigger an assignment
+(no pending demand, or the gaps between assignment candidates) are *folded*
+into the arrays by :meth:`VectorDeviceState.fold_slice` — one batched kernel
+instead of a per-event Python loop.  Idle-device dispatch becomes a boolean
+mask over the arrays instead of a heap-of-buckets walk.  The scalar
+per-event path stays the decision-hash oracle: every kernel here is written
+to be *bit-identical* to replaying the same events one at a time (see the
+method docstrings for the per-kernel arguments, and
+``docs/PERFORMANCE.md`` for the end-to-end contract).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.types import DeviceProfile
+from .device import SECONDS_PER_DAY
+
+#: Integer encodings of :class:`~repro.sim.device.DeviceStatus` in ``status``.
+STATUS_OFFLINE = 0
+STATUS_IDLE = 1
+STATUS_BUSY = 2
+
+
+class VectorDeviceState:
+    """Fleet-wide device runtime state as parallel numpy arrays.
+
+    Slots are assigned in ascending device-id order, so ``np.nonzero`` over
+    a slot mask enumerates devices in exactly the ascending-id order the
+    scalar dispatch paths use.
+    """
+
+    def __init__(
+        self,
+        profiles: Sequence[DeviceProfile],
+        signatures: Dict[int, FrozenSet[str]],
+    ) -> None:
+        ordered = sorted(profiles, key=lambda p: p.device_id)
+        n = len(ordered)
+        self.profiles: List[DeviceProfile] = ordered
+        self.ids = np.array([p.device_id for p in ordered], dtype=np.int64)
+        self.slot_of: Dict[int, int] = {
+            int(d): i for i, d in enumerate(self.ids)
+        }
+        self.status = np.zeros(n, dtype=np.int8)
+        self.sess = np.zeros(n, dtype=np.float64)
+        self.last_day = np.full(n, -1, dtype=np.int64)
+        # Plain lists, not arrays: these counters are only ever touched one
+        # slot at a time (response handling) and read back at finalisation,
+        # where list indexing is several times cheaper.
+        self.tasks_completed = [0] * n
+        self.tasks_failed = [0] * n
+        # Signature interning BY VALUE, not object identity: the fallback
+        # path of ``shard.compute_signatures`` can produce distinct-but-equal
+        # frozensets for different devices.
+        table: List[FrozenSet[str]] = []
+        index: Dict[FrozenSet[str], int] = {}
+        sig_id = np.empty(n, dtype=np.int32)
+        for i, profile in enumerate(ordered):
+            sig = signatures[profile.device_id]
+            j = index.get(sig)
+            if j is None:
+                j = index[sig] = len(table)
+                table.append(sig)
+            sig_id[i] = j
+        self.sig_table = table
+        self.sig_id = sig_id
+        # Fold scratch, reset to the init values after every fold via the
+        # touched slots (persistent arrays: many small folds must not pay an
+        # O(num_devices) allocation each).
+        self._scr_pos = np.full(n, -1, dtype=np.int64)
+        self._scr_send = np.full(n, -np.inf, dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+    def slots_for(self, device_ids: Sequence[int]) -> np.ndarray:
+        """Vectorized device-id -> slot translation (ids must be known)."""
+        return np.searchsorted(self.ids, np.asarray(device_ids, dtype=np.int64))
+
+    def sig_eligibility(self, pending_names: set) -> np.ndarray:
+        """``bool[sig_id]``: does the signature intersect a pending name?
+
+        The vectorized twin of the idle pool's bucket filter: dispatch only
+        visits devices whose signature could serve some pending requirement.
+        """
+        return np.fromiter(
+            (bool(sig & pending_names) for sig in self.sig_table),
+            dtype=bool,
+            count=len(self.sig_table),
+        )
+
+    def day_of(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :func:`~repro.sim.device.day_index` (same fmod-based
+        floor division, so boundary timestamps agree bit-for-bit)."""
+        return np.floor_divide(times, SECONDS_PER_DAY).astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    # The fold kernel
+    # ------------------------------------------------------------------ #
+    def fold_slice(
+        self,
+        times: np.ndarray,
+        slots: np.ndarray,
+        sends: np.ndarray,
+        is_checkin: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fold a run of assignment-free static events into the arrays.
+
+        The caller guarantees no event in the run can trigger an assignment
+        (no pending demand, or the run lies between assignment candidates),
+        so the busy set is constant across the run and each device's final
+        state depends only on its own event subsequence:
+
+        * busy devices: check-ins extend the session window to the max
+          session end seen (checkouts are no-ops) — ``np.maximum.at``;
+        * devices with a check-in: after their *last* check-in they are idle
+          with that check-in's session end, and go offline iff some later
+          checkout in the run carries ``session_end >= `` that value;
+        * checkout-only devices: an idle device goes offline iff some
+          checkout in the run carries ``session_end >=`` its current session
+          end (offline devices ignore checkouts).
+
+        Each bullet replays the scalar transition functions exactly, so the
+        final arrays are bit-identical to the per-event loop.  Returns
+        ``(ci_slots, ci_times)`` — the non-busy check-ins in event order —
+        for the caller's metrics counter and policy batch hook.
+        """
+        status = self.status
+        sess = self.sess
+        busy_ev = status[slots] == STATUS_BUSY
+        busy_ci = is_checkin & busy_ev
+        if busy_ci.any():
+            np.maximum.at(sess, slots[busy_ci], sends[busy_ci])
+        nb_ci = is_checkin & ~busy_ev
+        nb_co = ~is_checkin & ~busy_ev
+        ci_slots = slots[nb_ci]
+        co_slots = slots[nb_co]
+        scr_pos = self._scr_pos
+        scr_send = self._scr_send
+        if ci_slots.size:
+            np.maximum.at(scr_pos, ci_slots, np.nonzero(nb_ci)[0])
+        if co_slots.size:
+            co_pos = np.nonzero(nb_co)[0]
+            # Only checkouts after the device's last check-in of the run can
+            # end the (new) session; for checkout-only devices scr_pos is -1
+            # and every checkout counts.
+            after = co_pos > scr_pos[co_slots]
+            if after.any():
+                np.maximum.at(
+                    scr_send, co_slots[after], sends[co_pos[after]]
+                )
+        if ci_slots.size:
+            uci = np.unique(ci_slots)
+            new_sess = sends[scr_pos[uci]]
+            sess[uci] = new_sess
+            status[uci] = np.where(
+                scr_send[uci] >= new_sess, STATUS_OFFLINE, STATUS_IDLE
+            ).astype(np.int8)
+        if co_slots.size:
+            only = scr_pos[co_slots] < 0
+            if only.any():
+                uco = np.unique(co_slots[only])
+                off = (status[uco] == STATUS_IDLE) & (
+                    scr_send[uco] >= sess[uco]
+                )
+                if off.any():
+                    status[uco[off]] = STATUS_OFFLINE
+        # Reset the scratch entries this fold touched.
+        if ci_slots.size:
+            scr_pos[ci_slots] = -1
+        if co_slots.size:
+            scr_send[co_slots] = -np.inf
+        return ci_slots, times[nb_ci]
+
+
+__all__ = [
+    "STATUS_BUSY",
+    "STATUS_IDLE",
+    "STATUS_OFFLINE",
+    "VectorDeviceState",
+]

@@ -36,11 +36,11 @@ SEED = 11
 SHARD_COUNTS = (1, 2, 4)
 
 
-def cosim_snapshot(num_shards: int) -> dict:
+def cosim_snapshot(num_shards: int, vectorized: bool = False) -> dict:
     """Run the pinned co-sim scenario and serialise its observable output."""
     base = replace(
         quick_config(seed=SEED), num_devices=600, num_jobs=8, horizon=DAY
-    ).with_shards(num_shards)
+    ).with_shards(num_shards).with_vectorized(vectorized)
     spec = get_scenario(SCENARIO)
     env = spec.build_environment(base)
     config = smoke_cosim_config().with_overrides(spec.cosim)
@@ -121,4 +121,18 @@ class TestGoldenCoSim:
         with open(FIXTURE_PATH) as fh:
             expected = json.load(fh)
         snapshot = json.loads(json.dumps(cosim_snapshot(num_shards=num_shards)))
+        assert snapshot == expected
+
+    @pytest.mark.parametrize("num_shards", [1, 2])
+    def test_vectorized_replay_is_byte_identical(self, num_shards):
+        """The struct-of-arrays hot path must also land on the frozen
+        fixture: decisions, accuracy curves and hashes — the co-sim leg of
+        the vectorized-identity contract."""
+        if os.environ.get("REGEN_GOLDEN"):
+            pytest.skip("fixtures being regenerated")
+        with open(FIXTURE_PATH) as fh:
+            expected = json.load(fh)
+        snapshot = json.loads(
+            json.dumps(cosim_snapshot(num_shards=num_shards, vectorized=True))
+        )
         assert snapshot == expected

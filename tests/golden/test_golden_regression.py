@@ -151,7 +151,7 @@ def job_request(job: JobSpec):
 
 def simulation_snapshot(
     name: str, use_index: bool, plan_maintenance: str = "incremental",
-    num_shards: int = 1,
+    num_shards: int = 1, vectorized: bool = False,
 ) -> dict:
     devices, trace, jobs, horizon = scenario(name)
     policy = VennScheduler(
@@ -163,6 +163,7 @@ def simulation_snapshot(
         latency=GOLDEN_LATENCY,
         indexed_dispatch=use_index,
         num_shards=num_shards,
+        vectorized_dispatch=vectorized,
         # The contended scenario keeps the paper's one-job-per-day realism
         # constraint (it is part of what makes it contended); the
         # uncontended one lifts it so devices freely serve consecutive
@@ -244,6 +245,22 @@ class TestGoldenScenarios:
         for num_shards in (1, 3):
             sharded = simulation_snapshot(name, True, num_shards=num_shards)
             assert_matches(sharded, expected["jobs"])
+
+    def test_vectorized_engine_reproduces_fixture_exactly(self, name):
+        """The struct-of-arrays hot path must land on the frozen fixture at
+        several shard counts — the golden half of the vectorized-identity
+        contract (the scenario fuzzer's ``--vectorized`` twin mode and the
+        benchmark's decision-hash gate are the live halves)."""
+        path = fixture_path(name)
+        if os.environ.get("REGEN_GOLDEN"):
+            pytest.skip("fixtures being regenerated")
+        with open(path) as fh:
+            expected = json.load(fh)
+        for num_shards in (1, 2, 4):
+            vec = simulation_snapshot(
+                name, True, num_shards=num_shards, vectorized=True
+            )
+            assert_matches(vec, expected["jobs"])
 
     def test_incremental_and_full_maintenance_agree_exactly(self, name):
         """Incremental plan maintenance (the default) must make bit-identical

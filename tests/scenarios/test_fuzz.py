@@ -31,6 +31,19 @@ def test_random_compositions_hold_invariants(spec, base):
     check_scenario(spec, base, shards=(1, 2))
 
 
+@given(spec=scenario_specs(), base=base_configs())
+@settings(
+    max_examples=3,
+    deadline=None,
+    database=None,
+    suppress_health_check=list(HealthCheck),
+)
+def test_random_compositions_vectorized_twin_identity(spec, base):
+    """Scalar vs vectorized dispatch must produce byte-identical metrics
+    rows on random scenario compositions at shard counts 1 and 2."""
+    check_scenario(spec, base, shards=(1, 2), vectorized=True)
+
+
 def test_registered_fuzz_tagged_scenarios_absent():
     """The fuzzer must not leak temporary registrations."""
     assert not [n for n in scenario_names() if n.startswith("fuzz")]
@@ -48,6 +61,11 @@ def test_worker_identity_on_network_scenario():
 def test_cli_smoke(capsys):
     assert main(["--budget", "2", "--seed", "3"]) == 0
     assert "2 examples passed" in capsys.readouterr().out
+
+
+def test_cli_vectorized_smoke(capsys):
+    assert main(["--budget", "2", "--seed", "3", "--vectorized"]) == 0
+    assert "vectorized=True" in capsys.readouterr().out
 
 
 def test_cli_rejects_bad_arguments():

@@ -206,3 +206,82 @@ class TestEventQueuePopRun:
         q.push(5.0, EventType.DEVICE_CHECKIN, device_id=1)
         assert q.pop_run(1.0, EventType.DEVICE_CHECKIN) == []
         assert len(q) == 1
+
+
+class TestDayBoundaryParking:
+    """Park/promote day accounting at exact day-boundary timestamps.
+
+    ``IdleDevicePool.promote`` and ``DeviceRuntime.participated_today``
+    must agree on which calendar day a timestamp belongs to; both now go
+    through :func:`repro.sim.device.day_index`.  If they disagreed at a
+    boundary timestamp, a parked device would be promoted and instantly
+    re-parked on every dispatch sweep — or, worse, dispatched a day early.
+    """
+
+    #: Largest float64 below 172800.0 (= 2 days): still day 1.
+    JUST_BELOW_DAY_2 = 172799.99999999997
+
+    def test_day_index_boundary_values(self):
+        from repro.sim.device import SECONDS_PER_DAY, day_index
+        import math
+
+        import numpy as np
+
+        # Exact multiples open the next day; the largest float below the
+        # boundary still belongs to the previous day — for every day-index
+        # formulation in the engine (scalar day_index and the vectorized
+        # kernels' np.floor_divide), pinned across adversarial boundaries.
+        for k in (1, 2, 7, 365, 10_000):
+            boundary = k * SECONDS_PER_DAY
+            below = math.nextafter(boundary, 0.0)
+            assert day_index(boundary) == k
+            assert day_index(below) == k - 1
+            assert int(np.floor_divide(boundary, SECONDS_PER_DAY)) == k
+            assert int(np.floor_divide(below, SECONDS_PER_DAY)) == k - 1
+        assert day_index(self.JUST_BELOW_DAY_2) == 1
+
+    def test_parked_device_stays_parked_just_below_boundary(self):
+        pool = IdleDevicePool()
+        # Participated on day 1 -> eligible again on day 2.
+        pool.park(3, SIG_GEN, eligible_day=2)
+        assert self.visit_order(pool, {"general"}, now=self.JUST_BELOW_DAY_2) == []
+        assert pool.parked_count == 1
+
+    def test_parked_device_promoted_exactly_at_boundary(self):
+        pool = IdleDevicePool()
+        pool.park(3, SIG_GEN, eligible_day=2)
+        assert self.visit_order(pool, {"general"}, now=172800.0) == [3]
+        assert pool.parked_count == 0
+
+    def test_promote_agrees_with_participated_today(self):
+        from repro.sim.device import DeviceRuntime, day_index
+        from tests.conftest import make_device
+
+        import math
+
+        cases = [
+            # (participation day, timestamps straddling its blackout end)
+            (0, (86399.99999999999, 86400.0)),
+            (1, (self.JUST_BELOW_DAY_2, 172800.0)),
+            (6, (math.nextafter(7 * 86400.0, 0.0), 7 * 86400.0)),
+        ]
+        for last_day, timestamps in cases:
+            for now in timestamps:
+                device = DeviceRuntime(make_device(device_id=3))
+                device.last_participation_day = last_day
+                pool = IdleDevicePool()
+                pool.park(3, SIG_GEN, eligible_day=last_day + 1)
+                pool.promote(now)
+                promoted = 3 not in pool._parked
+                # Promotion must release the device exactly when the daily
+                # limit no longer blocks it.
+                assert promoted == (not device.participated_today(now)), (
+                    f"promote/participated_today disagree at now={now!r}: "
+                    f"promoted={promoted}, day={day_index(now)}"
+                )
+
+    def visit_order(self, pool, names, now=0.0):
+        pending = StaticPending(names)
+        seen = []
+        pool.dispatch(pending, now, seen.append)
+        return seen

@@ -266,3 +266,94 @@ class TestMultiPolicyIntegration:
                              latency=LatencyConfig()),
         )
         assert metrics.total_responses + metrics.total_failures <= metrics.total_checkins
+
+
+class TestDayRolloverGoldenTrace:
+    """Two-day golden micro-trace of the daily-limit park/promote cycle.
+
+    One device, one two-round demand-1 job, daily limit on.  The exact
+    event sequence is pinned (deterministic latency):
+
+    * day 0: the device checks in at t=0, serves round 0 (70 s), and is
+      benched for the rest of the day;
+    * day 1: the device's second session starts exactly at the midnight
+      boundary t=86400 — the boundary timestamp itself must already count
+      as "tomorrow", so the check-in is immediately dispatchable and round
+      1 completes at t=86470.
+
+    Every engine (single-queue, sharded, vectorized) must reproduce the
+    same golden timings.
+    """
+
+    HORIZON = 2 * 86400.0
+
+    def _build(self):
+        devices = [make_device(device_id=0)]
+        trace = make_trace([
+            (0, 0.0, 80_000.0),
+            (0, 86_400.0, 170_000.0),
+        ])
+        job = make_job(job_id=1, demand=1, rounds=2, deadline=100_000.0,
+                       base_task_duration=60.0)
+        return devices, trace, [job]
+
+    def _config(self, **overrides):
+        return SimulationConfig(
+            horizon=self.HORIZON, enforce_daily_limit=True, seed=0,
+            latency=DETERMINISTIC_LATENCY, **overrides,
+        )
+
+    def _assert_golden(self, metrics):
+        jm = metrics.jobs[1]
+        assert jm.completed
+        assert jm.rounds_completed == 2
+        assert jm.aborted_rounds == 0
+        # Round 0: assigned at t=0, 60 s compute + 10 s comm.
+        assert jm.round_completion_times[0] == pytest.approx(70.0)
+        # Round 1: request opened at t=70, device benched until midnight;
+        # the day-1 check-in at exactly t=86400 serves it immediately.
+        assert jm.scheduling_delays[1] == pytest.approx(86_400.0 - 70.0)
+        assert jm.round_completion_times[1] == pytest.approx(86_470.0)
+
+    def test_single_queue_engine(self):
+        devices, trace, jobs = self._build()
+        self._assert_golden(
+            run_simulation(devices, trace, jobs, FIFOPolicy(), self._config())
+        )
+
+    def test_sharded_engine(self):
+        devices, trace, jobs = self._build()
+        self._assert_golden(
+            run_simulation(devices, trace, jobs, FIFOPolicy(),
+                           self._config(sharded_dispatch=True))
+        )
+
+    def test_vectorized_engine(self):
+        devices, trace, jobs = self._build()
+        self._assert_golden(
+            run_simulation(devices, trace, jobs, FIFOPolicy(),
+                           self._config(vectorized_dispatch=True))
+        )
+
+    def test_session_just_below_midnight_stays_benched(self):
+        """A day-0 re-check-in one ULP below midnight must NOT dispatch."""
+        import math
+
+        devices = [make_device(device_id=0)]
+        below = math.nextafter(86_400.0, 0.0)
+        trace = make_trace([
+            (0, 0.0, 80_000.0),
+            (0, below, 170_000.0),  # still day 0: budget spent
+        ])
+        job = make_job(job_id=1, demand=1, rounds=2, deadline=200_000.0,
+                       base_task_duration=60.0)
+        for overrides in ({}, {"sharded_dispatch": True},
+                          {"vectorized_dispatch": True}):
+            metrics = run_simulation(devices, trace, [job],
+                                     FIFOPolicy(), self._config(**overrides))
+            jm = metrics.jobs[1]
+            # Round 0 completes; the re-check-in one ULP below midnight is
+            # still day 0, so the daily budget keeps the device benched and
+            # round 1 never gets its assignment before the horizon.
+            assert jm.rounds_completed == 1
+            assert not jm.completed

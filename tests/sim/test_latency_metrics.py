@@ -134,6 +134,40 @@ class TestSimulationMetrics:
         assert m.completion_rate == 0.0
         assert m.jct_by_demand_percentile() == {25.0: 0.0, 50.0: 0.0, 75.0: 0.0}
 
+    def test_jct_by_demand_percentile_keys_are_floats(self):
+        # Integer percentiles normalise to float keys, so callers indexing
+        # with 25 vs 25.0 agree (and empty metrics agree with populated).
+        m = self._metrics()
+        result = m.jct_by_demand_percentile((25, 50, 100))
+        assert all(type(k) is float for k in result)
+        assert result[25.0] == result[25]  # float keys match int lookups
+        empty = SimulationMetrics(policy="x", horizon=100.0)
+        assert all(type(k) is float for k in empty.jct_by_demand_percentile((25, 75)))
+
+    def test_jct_by_demand_percentile_ties_at_cut_included(self):
+        # Two jobs share the minimum demand; p=0's cut equals that demand
+        # and the inclusive <= keeps BOTH, not neither.
+        m = SimulationMetrics(policy="test", horizon=10_000.0)
+        m.jobs[1] = _job_metrics(1, 1000.0, total_demand=50)
+        m.jobs[2] = _job_metrics(2, 3000.0, total_demand=50)
+        m.jobs[3] = _job_metrics(3, 9000.0, total_demand=500)
+        result = m.jct_by_demand_percentile((0.0, 100.0))
+        assert result[0.0] == pytest.approx(2000.0)  # mean of the tied pair
+        assert result[100.0] == pytest.approx(m.average_jct)
+
+    def test_jct_by_demand_percentile_nan_free(self):
+        # The minimum-demand job always satisfies demand <= cut, so no
+        # bucket is empty and no NaN can appear — even at p=0.
+        import math
+
+        m = self._metrics()
+        result = m.jct_by_demand_percentile((0.0, 1.0, 25.0, 99.0, 100.0))
+        assert all(not math.isnan(v) for v in result.values())
+        assert result[0.0] == pytest.approx(1000.0)  # just the min-demand job
+        # Buckets are monotone supersets as p grows.
+        ordered = [result[p] for p in (0.0, 1.0, 25.0, 99.0, 100.0)]
+        assert ordered[0] == ordered[1] == ordered[2]  # same single-job bucket
+
     def test_speedup_over(self):
         slow = SimulationMetrics(policy="slow", horizon=1000.0)
         fast = SimulationMetrics(policy="fast", horizon=1000.0)

@@ -1,0 +1,323 @@
+"""Unit tests for the vectorized engine hot path.
+
+Covers the struct-of-arrays device state (:mod:`repro.sim.vector`) at the
+kernel level — slot layout, signature interning, day masks, and a
+differential check of :meth:`VectorDeviceState.fold_slice` against a scalar
+replay of the engine's per-event transition functions — plus engine-level
+identity: a full run with ``vectorized_dispatch=True`` must produce exactly
+the same job metrics and counters as the scalar oracle, at several shard
+counts, with a latency model that exercises the batched RNG kernel.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import FIFOPolicy, make_policy
+from repro.core.requirements import COMPUTE_RICH, GENERAL, MEMORY_RICH
+from repro.core.types import JobSpec
+from repro.sim.device import SECONDS_PER_DAY, day_index
+from repro.sim.engine import SimulationConfig, run_simulation
+from repro.sim.latency import LatencyConfig
+from repro.sim.vector import (
+    STATUS_BUSY,
+    STATUS_IDLE,
+    STATUS_OFFLINE,
+    VectorDeviceState,
+)
+from repro.traces.capacity import CapacitySampler
+from repro.traces.device_trace import DiurnalAvailabilityModel, DiurnalConfig
+
+from tests.conftest import make_device
+
+
+def build_state(num_devices=4, ids=None, signatures=None):
+    ids = list(ids) if ids is not None else list(range(num_devices))
+    profiles = [make_device(device_id=d) for d in ids]
+    if signatures is None:
+        signatures = {d: frozenset({"general"}) for d in ids}
+    return VectorDeviceState(profiles, signatures)
+
+
+class TestVectorDeviceState:
+    def test_slots_follow_ascending_device_id(self):
+        state = build_state(ids=[30, 5, 17])
+        assert state.ids.tolist() == [5, 17, 30]
+        assert state.slot_of == {5: 0, 17: 1, 30: 2}
+        assert state.slots_for([17, 30, 5]).tolist() == [1, 2, 0]
+        # Ascending-slot enumeration == ascending-device-id enumeration,
+        # which is what keeps vectorized dispatch order identical to the
+        # scalar idle pool's ascending-id walk.
+        assert state.ids[np.argsort(state.ids)].tolist() == state.ids.tolist()
+
+    def test_signatures_interned_by_value(self):
+        # Distinct-but-equal frozensets (as produced by the fallback path of
+        # per-shard signature computation) must share one table entry.
+        sig_a = frozenset({"general", "compute_rich"})
+        sig_b = frozenset({"compute_rich", "general"})
+        assert sig_a is not sig_b or sig_a == sig_b
+        state = build_state(
+            ids=[0, 1, 2],
+            signatures={0: sig_a, 1: sig_b, 2: frozenset({"general"})},
+        )
+        assert state.sig_id[0] == state.sig_id[1]
+        assert state.sig_id[2] != state.sig_id[0]
+        assert len(state.sig_table) == 2
+
+    def test_sig_eligibility_mask(self):
+        state = build_state(
+            ids=[0, 1],
+            signatures={
+                0: frozenset({"general"}),
+                1: frozenset({"memory_rich"}),
+            },
+        )
+        elig = state.sig_eligibility({"memory_rich", "high_performance"})
+        assert elig[state.sig_id[0]] == False  # noqa: E712
+        assert elig[state.sig_id[1]] == True  # noqa: E712
+        assert not state.sig_eligibility(set()).any()
+
+    def test_day_of_matches_scalar_day_index(self):
+        state = build_state(1)
+        times = []
+        for k in (0, 1, 2, 7, 365, 10_000):
+            boundary = k * SECONDS_PER_DAY
+            times.extend(
+                [boundary, math.nextafter(boundary, 0.0), boundary + 0.5]
+            )
+        times = np.array([t for t in times if t >= 0.0])
+        days = state.day_of(times)
+        for t, d in zip(times.tolist(), days.tolist()):
+            assert d == day_index(t), f"day mismatch at t={t!r}"
+
+
+def scalar_fold_oracle(status, sess, events):
+    """Per-event replay of the engine's scalar check-in/checkout handling
+    (busy check-ins max-extend the session; checkouts only end the session
+    of an idle device whose session end they cover).  Returns the non-busy
+    check-in slots in event order."""
+    ci_slots = []
+    for slot, send, is_checkin in events:
+        if is_checkin:
+            if status[slot] == STATUS_BUSY:
+                sess[slot] = max(sess[slot], send)
+            else:
+                status[slot] = STATUS_IDLE
+                sess[slot] = send
+                ci_slots.append(slot)
+        else:
+            if status[slot] == STATUS_IDLE and sess[slot] <= send:
+                status[slot] = STATUS_OFFLINE
+    return ci_slots
+
+
+def apply_fold(state, events):
+    times = np.array([float(i) for i in range(len(events))])
+    slots = np.array([e[0] for e in events], dtype=np.int64)
+    sends = np.array([e[1] for e in events], dtype=np.float64)
+    is_ci = np.array([e[2] for e in events], dtype=bool)
+    return state.fold_slice(times, slots, sends, is_ci)
+
+
+class TestFoldSliceDifferential:
+    def test_busy_checkin_extends_session_only(self):
+        state = build_state(2)
+        state.status[:] = (STATUS_BUSY, STATUS_BUSY)
+        state.sess[:] = (100.0, 100.0)
+        apply_fold(state, [(0, 500.0, True), (1, 50.0, True)])
+        assert state.status.tolist() == [STATUS_BUSY, STATUS_BUSY]
+        assert state.sess.tolist() == [500.0, 100.0]  # max-extend, never shrink
+
+    def test_checkout_ignored_while_busy(self):
+        state = build_state(1)
+        state.status[0] = STATUS_BUSY
+        state.sess[0] = 100.0
+        apply_fold(state, [(0, 100.0, False)])
+        assert state.status[0] == STATUS_BUSY and state.sess[0] == 100.0
+
+    def test_checkin_then_covering_checkout_goes_offline(self):
+        state = build_state(1)
+        _ = apply_fold(state, [(0, 40.0, True), (0, 40.0, False)])
+        assert state.status[0] == STATUS_OFFLINE
+        assert state.sess[0] == 40.0
+
+    def test_stale_checkout_before_last_checkin_is_ignored(self):
+        # checkout(40) then re-checkin(90): the checkout belongs to the old
+        # session and must not end the new one.
+        state = build_state(1)
+        apply_fold(
+            state,
+            [(0, 40.0, True), (0, 40.0, False), (0, 90.0, True)],
+        )
+        assert state.status[0] == STATUS_IDLE
+        assert state.sess[0] == 90.0
+
+    def test_checkout_only_device_needs_covering_send(self):
+        state = build_state(2)
+        state.status[:] = STATUS_IDLE
+        state.sess[:] = (60.0, 60.0)
+        apply_fold(state, [(0, 59.0, False), (1, 60.0, False)])
+        assert state.status.tolist() == [STATUS_IDLE, STATUS_OFFLINE]
+
+    def test_returns_nonbusy_checkins_in_event_order(self):
+        state = build_state(3)
+        state.status[2] = STATUS_BUSY
+        state.sess[2] = 10.0
+        ci_slots, ci_times = apply_fold(
+            state,
+            [(1, 30.0, True), (2, 99.0, True), (0, 20.0, True),
+             (1, 55.0, True)],
+        )
+        assert ci_slots.tolist() == [1, 0, 1]  # busy slot 2 excluded
+        assert ci_times.tolist() == [0.0, 2.0, 3.0]
+
+    @given(
+        data=st.data(),
+        num_devices=st.integers(min_value=1, max_value=6),
+        num_events=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_differential_vs_scalar_replay(self, data, num_devices,
+                                           num_events):
+        init_status = data.draw(
+            st.lists(
+                st.sampled_from([STATUS_OFFLINE, STATUS_IDLE, STATUS_BUSY]),
+                min_size=num_devices, max_size=num_devices,
+            )
+        )
+        init_sess = data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+                min_size=num_devices, max_size=num_devices,
+            )
+        )
+        events = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=num_devices - 1),
+                    st.floats(min_value=0.0, max_value=200.0,
+                              allow_nan=False),
+                    st.booleans(),
+                ),
+                min_size=num_events, max_size=num_events,
+            )
+        )
+        state = build_state(num_devices)
+        state.status[:] = init_status
+        state.sess[:] = init_sess
+        oracle_status = list(init_status)
+        oracle_sess = list(init_sess)
+        expect_ci = scalar_fold_oracle(oracle_status, oracle_sess, events)
+        ci_slots, _ = apply_fold(state, events)
+        assert state.status.tolist() == oracle_status
+        assert state.sess.tolist() == oracle_sess
+        assert ci_slots.tolist() == expect_ci
+        # Scratch arrays must be reset for the next fold.
+        assert (state._scr_pos == -1).all()
+        assert (state._scr_send == -np.inf).all()
+
+    def test_two_folds_back_to_back_reuse_scratch_correctly(self):
+        state = build_state(2)
+        apply_fold(state, [(0, 50.0, True), (1, 50.0, True)])
+        apply_fold(state, [(0, 50.0, False), (1, 120.0, True)])
+        assert state.status.tolist() == [STATUS_OFFLINE, STATUS_IDLE]
+        assert state.sess.tolist() == [50.0, 120.0]
+
+
+def small_scenario():
+    """A contended mixed-requirement scenario small enough for a unit test
+    but busy enough to exercise assignments, failures, day limits and the
+    batched RNG kernel (nonzero compute sigma and reliability dropouts)."""
+    devices = CapacitySampler(seed=5).sample_devices(60)
+    trace = DiurnalAvailabilityModel(
+        DiurnalConfig(horizon=30_000.0, peak_availability=0.5,
+                      trough_availability=0.3, median_session=2 * 3600.0),
+        seed=6,
+    ).generate(60)
+    jobs = [
+        JobSpec(1, GENERAL, demand_per_round=8, num_rounds=3,
+                arrival_time=50.0, round_deadline=4_000.0,
+                base_task_duration=90.0),
+        JobSpec(2, COMPUTE_RICH, demand_per_round=5, num_rounds=2,
+                arrival_time=300.0, round_deadline=4_000.0,
+                base_task_duration=90.0),
+        JobSpec(3, MEMORY_RICH, demand_per_round=4, num_rounds=2,
+                arrival_time=700.0, round_deadline=4_000.0,
+                base_task_duration=90.0),
+    ]
+    return devices, trace, jobs
+
+
+def snapshot(metrics):
+    out = {
+        "total_checkins": metrics.total_checkins,
+        "total_responses": metrics.total_responses,
+        "total_failures": metrics.total_failures,
+        "total_aborts": metrics.total_aborts,
+    }
+    for job_id, jm in sorted(metrics.jobs.items()):
+        out[job_id] = (
+            jm.jct, tuple(jm.scheduling_delays), jm.rounds_completed,
+            jm.aborted_rounds, jm.completed,
+        )
+    return out
+
+
+def run_snapshot(policy_name, vectorized, num_shards=1):
+    devices, trace, jobs = small_scenario()
+    policy = make_policy(policy_name, seed=3)
+    config = SimulationConfig(
+        horizon=30_000.0,
+        seed=9,
+        latency=LatencyConfig(compute_sigma=0.3, comm_min=5.0, comm_max=20.0),
+        num_shards=num_shards,
+        sharded_dispatch=True,
+        vectorized_dispatch=vectorized,
+        enforce_daily_limit=True,
+    )
+    return snapshot(run_simulation(devices, trace, jobs, policy, config))
+
+
+class TestVectorizedEngineIdentity:
+    @pytest.mark.parametrize("policy_name", ["fifo", "srsf", "venn"])
+    def test_matches_scalar_oracle(self, policy_name):
+        scalar = run_snapshot(policy_name, vectorized=False)
+        for num_shards in (1, 2):
+            vec = run_snapshot(policy_name, vectorized=True,
+                               num_shards=num_shards)
+            assert vec == scalar, (
+                f"vectorized({policy_name}, shards={num_shards}) diverged"
+            )
+
+    def test_vectorized_requires_sharded_engine(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(vectorized_dispatch=True, sharded_dispatch=False)
+        with pytest.raises(ValueError):
+            SimulationConfig(vectorized_dispatch=True, indexed_dispatch=False)
+
+    def test_runtime_state_synced_back_after_run(self):
+        """After a vectorized run the per-device DeviceRuntime objects must
+        reflect the final array state (status, counters, last day)."""
+        devices, trace, jobs = small_scenario()
+        config = SimulationConfig(
+            horizon=30_000.0, seed=9,
+            latency=LatencyConfig(compute_sigma=0.0, comm_min=10.0,
+                                  comm_max=10.0),
+            vectorized_dispatch=True, enforce_daily_limit=True,
+        )
+        from repro.sim.engine import Simulator
+
+        sim = Simulator(devices, trace, jobs, FIFOPolicy(), config)
+        metrics = sim.run()
+        runtimes = sim.devices
+        completed = sum(r.tasks_completed for r in runtimes.values())
+        failed = sum(r.tasks_failed for r in runtimes.values())
+        assert completed == metrics.total_responses
+        assert failed == metrics.total_failures
+        assert any(r.last_participation_day is not None
+                   for r in runtimes.values())

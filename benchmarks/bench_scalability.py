@@ -41,6 +41,17 @@ Axes that can be compared:
   reference.  Decision hash, metrics digest and event count must all match
   — the vectorized-identity gate is fatal like the shard gate — and the
   per-shard-count events/sec ratio is recorded in the artifact.
+* **checkpointed vs uncheckpointed** (``--checkpoint-compare``, interval
+  ``--checkpoint-every``): the primary cell re-run with periodic
+  full-state snapshots (``SimulationConfig(checkpoint_interval=N)``,
+  ``docs/RESILIENCE.md``).  Checkpointing is pure observation, so the gate
+  is fatal on any divergence; the artifact records snapshot count and the
+  checkpoint wall-time share.
+
+Every fatal gate prints the *first divergent decision record* (index,
+simulated time, device, job — both runs' values) and the first differing
+metrics field via :mod:`repro.resilience.record`, so a broken identity
+contract is diagnosable from the CI log alone.
 
 ``--smoke`` runs one tiny cell across all combinations, including
 ``num_shards=2`` and the vectorized twin (seconds; used by CI), and
@@ -75,10 +86,8 @@ and is skipped above ``--legacy-max-devices``)::
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
 import os
-import struct
 import sys
 import time
 from typing import Dict, List, Optional, Tuple
@@ -90,6 +99,12 @@ if _SRC not in sys.path:  # allow running without pip install / PYTHONPATH
     sys.path.insert(0, _SRC)
 
 from repro.core.baselines import make_policy  # noqa: E402
+from repro.resilience.record import (  # noqa: E402
+    decision_hash,
+    describe_metrics_divergence,
+    format_divergence,
+    metrics_digest,
+)
 from repro.sim.engine import SimulationConfig, Simulator  # noqa: E402
 from repro.sim.latency import LatencyConfig  # noqa: E402
 from repro.traces.capacity import CapacitySampler  # noqa: E402
@@ -101,36 +116,45 @@ from repro.traces.workloads import WorkloadConfig, WorkloadGenerator  # noqa: E4
 
 
 class TimedPolicy:
-    """Transparent policy wrapper timing and hashing every ``assign``.
+    """Transparent policy wrapper timing and recording every ``assign``.
 
-    The decision hash digests the sequence of *actual assignments*
-    ``(now, device_id, job_id)`` — None decisions are excluded so the hash
-    is comparable between the indexed and legacy dispatch paths, which
-    offer different (but decision-equivalent) device streams to the policy.
+    Actual assignments are recorded as plain ``(now, device_id, job_id)``
+    tuples (None decisions excluded, so the digest is comparable between
+    the indexed and legacy dispatch paths, which offer different — but
+    decision-equivalent — device streams to the policy).  Plain tuples
+    instead of a running ``hashlib`` object buy two things: the wrapper
+    pickles into engine checkpoints (``--checkpoint-compare``), and a
+    failed identity gate can print the *first divergent decision* instead
+    of two opaque hex strings.  The hash itself
+    (:func:`repro.resilience.record.decision_hash`) is byte-compatible
+    with the historical accumulator.
     """
 
     def __init__(self, inner) -> None:
         self._inner = inner
         self.name = getattr(inner, "name", type(inner).__name__)
         self.assign_latencies: List[float] = []
-        self._hash = hashlib.blake2b(digest_size=16)
+        self.decisions: List[Tuple[float, int, int]] = []
 
     def assign(self, device, now):
         t0 = time.perf_counter()
         out = self._inner.assign(device, now)
         self.assign_latencies.append(time.perf_counter() - t0)
         if out is not None:
-            self._hash.update(
-                struct.pack("<dqq", now, device.device_id, out.job_id)
-            )
+            self.decisions.append((now, device.device_id, out.job_id))
         return out
 
     @property
     def decision_hash(self) -> str:
-        return self._hash.hexdigest()
+        return decision_hash(self.decisions)
 
     def __getattr__(self, item):
-        return getattr(self._inner, item)
+        # Guarded like RecordingPolicy: pickle probes attributes on an
+        # empty instance dict during unpickling.
+        inner = self.__dict__.get("_inner")
+        if inner is None:
+            raise AttributeError(item)
+        return getattr(inner, item)
 
 
 def build_cell(num_devices: int, num_jobs: int, horizon: float, seed: int):
@@ -165,26 +189,12 @@ def percentile_us(lat: np.ndarray, q: float) -> Optional[float]:
     return round(float(np.percentile(lat, q)) * 1e6, 2)
 
 
-def metrics_hash(metrics) -> str:
-    """Digest of the merged run metrics (counters + per-job censored JCTs).
-
-    The shard-identity gate compares this *in addition to* the decision
-    hash: identical decisions with a broken metrics reduction (e.g. a
-    double-counted shard) would still be caught.
-    """
-    fp = hashlib.blake2b(digest_size=16)
-    fp.update(
-        struct.pack(
-            "<qqqq",
-            metrics.total_checkins,
-            metrics.total_responses,
-            metrics.total_failures,
-            metrics.total_aborts,
-        )
-    )
-    for job_id, jct in sorted(metrics.job_jcts().items()):
-        fp.update(struct.pack("<qd", job_id, jct))
-    return fp.hexdigest()
+#: Digest of the merged run metrics (counters + per-job censored JCTs).
+#: The shard-identity gate compares this *in addition to* the decision
+#: hash: identical decisions with a broken metrics reduction (e.g. a
+#: double-counted shard) would still be caught.  Shared with the chaos
+#: harness so every identity gate in the repo speaks one digest.
+metrics_hash = metrics_digest
 
 
 def run_cell(
@@ -198,6 +208,7 @@ def run_cell(
     repeats: int = 1,
     num_shards: int = 1,
     vectorized: bool = False,
+    checkpoint_interval: Optional[int] = None,
 ) -> Dict:
     """Run one cell ``repeats`` times and keep the fastest run.
 
@@ -210,7 +221,7 @@ def run_cell(
     for _ in range(max(1, repeats)):
         cell = _run_cell_once(
             num_devices, num_jobs, horizon, seed, policy_name, indexed,
-            maintenance, num_shards, vectorized,
+            maintenance, num_shards, vectorized, checkpoint_interval,
         )
         if best is not None and cell["decision_hash"] != best["decision_hash"]:
             raise AssertionError(
@@ -232,6 +243,7 @@ def _run_cell_once(
     maintenance: str,
     num_shards: int = 1,
     vectorized: bool = False,
+    checkpoint_interval: Optional[int] = None,
 ) -> Dict:
     devices, trace, workload = build_cell(num_devices, num_jobs, horizon, seed)
     kwargs = {}
@@ -247,6 +259,7 @@ def _run_cell_once(
         max_events=200_000_000,
         num_shards=num_shards,
         vectorized_dispatch=vectorized,
+        checkpoint_interval=checkpoint_interval,
     )
     sim = Simulator(devices, trace, workload, policy, config)
     t0 = time.perf_counter()
@@ -286,7 +299,19 @@ def _run_cell_once(
         "plan_rebuilds": getattr(policy, "plan_rebuilds", None),
         "decision_hash": policy.decision_hash,
         "metrics_hash": metrics_hash(metrics),
+        # Raw records for first-divergence diagnostics on a failed gate;
+        # underscore-prefixed keys are stripped before the artifact is
+        # written (they are process-local, not JSON-friendly).
+        "_decisions": policy.decisions,
+        "_metrics": metrics,
     }
+    if checkpoint_interval is not None:
+        cell["checkpoint_interval"] = checkpoint_interval
+        cell["checkpoints_taken"] = sim.checkpoints_taken
+        cell["checkpoint_time_s"] = round(sim.checkpoint_time_s, 4)
+        cell["checkpoint_time_share"] = round(
+            sim.checkpoint_time_s / max(wall, 1e-9), 4
+        )
     profile = metrics.plan_maintenance
     if profile is not None:
         cell["plan_incremental_updates"] = profile["incremental_updates"]
@@ -299,6 +324,30 @@ def _run_cell_once(
         cell["index_atoms_patched"] = profile["index_atoms_patched"]
         cell["plan_triggers"] = profile["triggers"]
     return cell
+
+
+def _print_divergence(
+    cell_a: Dict, cell_b: Dict, label_a: str, label_b: str
+) -> None:
+    """Actionable gate output: the first divergent decision record (index,
+    time, device, job — both runs' values), then the first differing
+    metrics field — instead of two opaque hex digests."""
+    print(
+        "[cell]   "
+        + format_divergence(
+            cell_a["_decisions"], cell_b["_decisions"],
+            label_a=label_a, label_b=label_b,
+        ),
+        file=sys.stderr, flush=True,
+    )
+    print(
+        "[cell]   "
+        + describe_metrics_divergence(
+            cell_a["_metrics"], cell_b["_metrics"],
+            label_a=label_a, label_b=label_b,
+        ),
+        file=sys.stderr, flush=True,
+    )
 
 
 def parse_int_list(text: str) -> List[int]:
@@ -380,6 +429,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run each cell in both plan-maintenance modes, "
                              "assert decision identity and report the "
                              "incremental/full speedup")
+    parser.add_argument("--checkpoint-compare", action="store_true",
+                        help="run a periodically checkpointed twin of the "
+                             "primary cell; decision hash, metrics hash and "
+                             "event count must match the uncheckpointed run "
+                             "bit-for-bit (fatal otherwise), and the "
+                             "checkpoint overhead is recorded")
+    parser.add_argument("--checkpoint-every", type=int, default=2000,
+                        help="checkpoint interval in events for "
+                             "--checkpoint-compare (default 2000)")
     parser.add_argument("--vectorized-compare", action="store_true",
                         help="run each primary shard count on the "
                              "struct-of-arrays hot path too; decision hash, "
@@ -411,6 +469,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.compare = True
         args.maintenance_compare = True
         args.vectorized_compare = True
+        args.checkpoint_compare = True
         if args.shard_counts == [1]:
             args.shard_counts = [1, 2]
 
@@ -479,6 +538,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         f"{base_cell['metrics_hash'][:12]}",
                         file=sys.stderr, flush=True,
                     )
+                    _print_divergence(
+                        base_cell, sharded_cell,
+                        label_a="num_shards=1",
+                        label_b=f"num_shards={shards}",
+                    )
                 ratio = (
                     sharded_cell["events_per_sec"]
                     / max(base_cell["events_per_sec"], 1e-9)
@@ -527,6 +591,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         f"{vec_cell['events']} vs {scalar_cell['events']}",
                         file=sys.stderr, flush=True,
                     )
+                    _print_divergence(
+                        scalar_cell, vec_cell,
+                        label_a="scalar", label_b="vectorized",
+                    )
                 ratio = (
                     vec_cell["events_per_sec"]
                     / max(scalar_cell["events_per_sec"], 1e-9)
@@ -541,6 +609,65 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "devices": n_dev, "jobs": n_jobs,
                     "summary": "vectorized", "num_shards": shards,
                     "events_per_sec_ratio": round(ratio, 3),
+                    "decisions_identical": identical,
+                })
+
+            if args.checkpoint_compare and base_cell is not None:
+                print(
+                    f"[cell] devices={n_dev} jobs={n_jobs} path=indexed "
+                    f"maintenance={maint_primary} shards=1 "
+                    f"checkpoint_every={args.checkpoint_every} ...",
+                    file=sys.stderr, flush=True,
+                )
+                ckpt_cell = run_cell(
+                    n_dev, n_jobs, horizon, args.seed, args.policy,
+                    True, maint_primary, repeats=args.repeats,
+                    num_shards=1, vectorized=False,
+                    checkpoint_interval=args.checkpoint_every,
+                )
+                cells.append(ckpt_cell)
+                identical = (
+                    ckpt_cell["decision_hash"] == base_cell["decision_hash"]
+                    and ckpt_cell["metrics_hash"] == base_cell["metrics_hash"]
+                    and ckpt_cell["events"] == base_cell["events"]
+                )
+                if not identical:
+                    # Fatal: periodic checkpointing is pure observation; it
+                    # must never perturb a decision or a metric.
+                    decision_mismatch = True
+                    print(
+                        f"[cell] devices={n_dev} jobs={n_jobs} "
+                        f"CHECKPOINT IDENTITY DIVERGENCE at "
+                        f"interval={args.checkpoint_every}: decisions "
+                        f"{ckpt_cell['decision_hash'][:12]} vs "
+                        f"{base_cell['decision_hash'][:12]}, metrics "
+                        f"{ckpt_cell['metrics_hash'][:12]} vs "
+                        f"{base_cell['metrics_hash'][:12]}",
+                        file=sys.stderr, flush=True,
+                    )
+                    _print_divergence(
+                        base_cell, ckpt_cell,
+                        label_a="uncheckpointed", label_b="checkpointed",
+                    )
+                overhead = (
+                    base_cell["events_per_sec"]
+                    / max(ckpt_cell["events_per_sec"], 1e-9)
+                )
+                print(
+                    f"[cell] devices={n_dev} jobs={n_jobs} "
+                    f"checkpointing: {ckpt_cell['checkpoints_taken']} "
+                    f"snapshots, {ckpt_cell['checkpoint_time_share']:.1%} of "
+                    f"wall, uncheckpointed/checkpointed = {overhead:.2f}x, "
+                    f"identical: {identical}",
+                    file=sys.stderr, flush=True,
+                )
+                cells.append({
+                    "devices": n_dev, "jobs": n_jobs,
+                    "summary": "checkpoint",
+                    "checkpoint_interval": args.checkpoint_every,
+                    "checkpoints_taken": ckpt_cell["checkpoints_taken"],
+                    "checkpoint_time_share": ckpt_cell["checkpoint_time_share"],
+                    "events_per_sec_ratio": round(overhead, 3),
                     "decisions_identical": identical,
                 })
 
@@ -595,6 +722,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         f"full={by_combo[full]['decision_hash'][:12]}",
                         file=sys.stderr, flush=True,
                     )
+                    _print_divergence(
+                        by_combo[full], by_combo[inc],
+                        label_a="full", label_b="incremental",
+                    )
                 ratio = (
                     by_combo[inc]["events_per_sec"]
                     / max(by_combo[full]["events_per_sec"], 1e-9)
@@ -626,7 +757,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "seed": args.seed,
         "horizon_hours": horizon / 3600.0,
         "smoke": bool(args.smoke),
-        "cells": cells,
+        # Underscore keys hold process-local diagnostics (raw decision
+        # records, metrics objects); the artifact keeps only plain JSON.
+        "cells": [
+            {k: v for k, v in cell.items() if not k.startswith("_")}
+            for cell in cells
+        ],
     }
     out_path = args.output
     os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
@@ -678,6 +814,11 @@ def check_baseline(
         if cell["path"] not in ("indexed", "sharded", "vectorized"):
             continue
         if cell.get("plan_maintenance") != "incremental":
+            continue
+        if cell.get("checkpoint_interval") is not None:
+            # The checkpointed twin shares its baseline key with the
+            # primary cell but pays snapshot overhead by design; gating it
+            # against the uncheckpointed baseline would be a false alarm.
             continue
         ref = base_cells.get(key(cell))
         if ref is None:

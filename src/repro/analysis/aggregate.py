@@ -82,6 +82,10 @@ def aggregate_rows(
     """
     groups: Dict[Tuple[str, str], List[Mapping]] = {}
     for row in rows:
+        if row.get("status", "ok") != "ok":
+            # Failed sweep cells carry an error payload instead of metrics;
+            # they are reported separately, never folded into aggregates.
+            continue
         try:
             key = (str(row["scenario"]), str(row["policy"]))
         except KeyError as exc:
@@ -235,6 +239,9 @@ def aggregate_cosim_rows(
     """
     groups: Dict[Tuple[str, str], List[Mapping]] = {}
     for row in rows:
+        if row.get("status", "ok") != "ok":
+            # Failed sweep cells carry an error payload instead of metrics.
+            continue
         try:
             key = (str(row["scenario"]), str(row["policy"]))
         except KeyError as exc:

@@ -85,6 +85,11 @@ class ExperimentConfig:
     #: numpy batch kernels).  Decisions and metrics are bit-identical to the
     #: scalar oracle; forwarded to ``SimulationConfig.vectorized_dispatch``.
     vectorized: bool = False
+    #: Periodic full-state checkpointing: snapshot every N processed events
+    #: (``None`` disables).  Checkpointing is pure observation — decisions
+    #: and metrics are bit-identical with or without it; forwarded to
+    #: ``SimulationConfig.checkpoint_interval`` (see ``docs/RESILIENCE.md``).
+    checkpoint_interval: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_devices <= 0 or self.num_jobs <= 0:
@@ -110,6 +115,7 @@ class ExperimentConfig:
             seed=self.seed_for("simulation"),
             num_shards=self.num_shards,
             vectorized_dispatch=self.vectorized,
+            checkpoint_interval=self.checkpoint_interval,
         )
 
     # ------------------------------------------------------------------ #
@@ -165,6 +171,13 @@ class ExperimentConfig:
     def with_vectorized(self, vectorized: bool = True) -> "ExperimentConfig":
         """Copy of this config on the vectorized (or scalar) hot path."""
         return replace(self, vectorized=vectorized)
+
+    def with_checkpointing(
+        self, interval: Optional[int]
+    ) -> "ExperimentConfig":
+        """Copy of this config checkpointing every ``interval`` events
+        (``None`` disables)."""
+        return replace(self, checkpoint_interval=interval)
 
 
 def _scaled_workload(

@@ -28,6 +28,22 @@ Command line::
 ``--smoke`` runs a small 4-scenario × 2-seed × 1-policy matrix sized for CI;
 drop it (and pass ``--scenarios/--policies/--num-seeds``) for real sweeps.
 
+Fault tolerance
+---------------
+
+A long sweep must survive one broken cell.  Every cell runs inside an
+exception boundary: a cell that raises is retried up to
+``--max-cell-retries`` times and, still failing, contributes a ``status:
+"failed"`` row carrying the error and full traceback — the other cells run
+to completion, aggregation skips the failed row, and the process exits
+non-zero.  Rows are flushed to the JSONL file incrementally (one line per
+completed cell), so a sweep killed mid-flight leaves the finished prefix
+on disk; ``Ctrl-C`` terminates the worker pool cleanly and reports the
+partial output.  The exception boundary sits inside the per-cell task, so
+failed-row bytes are identical for any worker count too.  ``status`` is
+``"ok"`` on every successful row.  ``--inject-crash-cell N`` deliberately
+crashes cell N (the CI sweep-smoke job uses it to gate this machinery).
+
 Co-simulation mode
 ------------------
 
@@ -50,6 +66,7 @@ import multiprocessing
 import os
 import sys
 import time
+import traceback
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, TextIO, Tuple
 
@@ -61,7 +78,6 @@ from ..analysis.aggregate import (
     format_aggregates,
     format_cosim_aggregates,
     metrics_row,
-    write_jsonl,
 )
 from ..scenarios import get_scenario, scenario_names
 from ..sim.metrics import SimulationMetrics
@@ -261,11 +277,61 @@ def run_cosim_cell(cell: SweepCell, preset: str = "quick", smoke: bool = False) 
     return row
 
 
-def _run_cell_task(args: Tuple[SweepCell, str, bool, bool]) -> Dict:
-    cell, preset, smoke, cosim = args
-    if cosim:
-        return run_cosim_cell(cell, preset=preset, smoke=smoke)
-    return run_cell(cell, preset=preset, smoke=smoke)
+def _failed_row(cell: SweepCell, exc: BaseException, attempts: int) -> Dict:
+    """The JSONL row of a cell that kept raising after every retry.
+
+    Carries full provenance plus the error and traceback, so a failed cell
+    is diagnosable from the artifact alone.  The traceback is formatted
+    from the frames below the task boundary only, which keeps the bytes
+    identical whether the cell ran serially or in a pool worker.
+    """
+    return {
+        "cell": cell.index,
+        "scenario": cell.scenario,
+        "policy": cell.policy,
+        "seed_index": cell.seed_index,
+        "entropy": cell.entropy,
+        "status": "failed",
+        "error": f"{type(exc).__name__}: {exc}",
+        "traceback": "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ),
+        "attempts": attempts,
+    }
+
+
+def _run_cell_task(
+    args: Tuple[SweepCell, str, bool, bool, int, bool]
+) -> Dict:
+    """Run one cell inside the sweep's exception boundary.
+
+    Retries a raising cell up to ``max_retries`` extra times (transient
+    failures: OOM kills of a neighbour, flaky filesystems), then folds the
+    exception into a ``status: "failed"`` row instead of propagating — one
+    broken cell must not sink the sweep.  ``KeyboardInterrupt`` always
+    propagates (the pool is being torn down).
+    """
+    cell, preset, smoke, cosim, max_retries, inject_crash = args
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            if inject_crash:
+                raise RuntimeError(
+                    f"injected sweep-cell crash (cell {cell.index})"
+                )
+            if cosim:
+                row = run_cosim_cell(cell, preset=preset, smoke=smoke)
+            else:
+                row = run_cell(cell, preset=preset, smoke=smoke)
+            row["status"] = "ok"
+            return row
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            if attempts <= max_retries:
+                continue
+            return _failed_row(cell, exc, attempts)
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -288,35 +354,83 @@ def run_sweep(
     out_path: Optional[str] = None,
     log: Optional[TextIO] = None,
     cosim: bool = False,
+    max_cell_retries: int = 0,
+    inject_crash_cells: Sequence[int] = (),
 ) -> List[Dict]:
     """Run every cell (serially or over a worker pool) and return the rows.
 
     Rows come back in cell order regardless of scheduling; when ``out_path``
-    is given they are also written there as JSONL (sorted keys, one row per
+    is given they are written there as JSONL (sorted keys, one row per
     line) so the bytes are reproducible for a fixed matrix and root seed.
-    ``cosim=True`` runs each cell through :func:`run_cosim_cell` instead of
-    :func:`run_cell`.
+    Rows are flushed incrementally — a sweep killed mid-flight leaves every
+    completed cell's row on disk.  A cell that raises is retried
+    ``max_cell_retries`` times, then becomes a ``status: "failed"`` row
+    (see :func:`_run_cell_task`); ``KeyboardInterrupt`` terminates the pool
+    and propagates.  ``cosim=True`` runs each cell through
+    :func:`run_cosim_cell` instead of :func:`run_cell`;
+    ``inject_crash_cells`` deliberately crashes the named cell indices.
     """
     if workers <= 0:
         raise ValueError("workers must be positive")
-    tasks = [(cell, preset, smoke, cosim) for cell in cells]
+    if max_cell_retries < 0:
+        raise ValueError("max_cell_retries must be non-negative")
+    crash_set = set(inject_crash_cells)
+    unknown = crash_set - {cell.index for cell in cells}
+    if unknown:
+        raise ValueError(
+            f"inject_crash_cells names unknown cell indices: {sorted(unknown)}"
+        )
+    tasks = [
+        (cell, preset, smoke, cosim, max_cell_retries, cell.index in crash_set)
+        for cell in cells
+    ]
     started = time.perf_counter()
-    if workers == 1 or len(cells) <= 1:
-        rows = [_run_cell_task(task) for task in tasks]
-    else:
-        ctx = _pool_context()
-        with ctx.Pool(processes=min(workers, len(cells))) as pool:
-            # Ordered map keeps rows aligned with cell indices; chunksize 1
-            # load-balances uneven scenario runtimes across the pool.
-            rows = pool.map(_run_cell_task, tasks, chunksize=1)
+    rows: List[Dict] = []
+    out_fh: Optional[TextIO] = None
+    if out_path:
+        directory = os.path.dirname(os.path.abspath(out_path))
+        os.makedirs(directory, exist_ok=True)
+        out_fh = open(out_path, "w")
+
+    def emit(row: Dict) -> None:
+        rows.append(row)
+        if out_fh is not None:
+            out_fh.write(json.dumps(row, sort_keys=True) + "\n")
+            out_fh.flush()
+
+    try:
+        if workers == 1 or len(cells) <= 1:
+            for task in tasks:
+                emit(_run_cell_task(task))
+        else:
+            ctx = _pool_context()
+            pool = ctx.Pool(processes=min(workers, len(cells)))
+            try:
+                # Ordered imap keeps rows aligned with cell indices while
+                # streaming them back one at a time (incremental flush);
+                # chunksize 1 load-balances uneven scenario runtimes.
+                for row in pool.imap(_run_cell_task, tasks, chunksize=1):
+                    emit(row)
+                pool.close()
+            except BaseException:
+                # KeyboardInterrupt (and anything else) must not leave
+                # worker processes behind; terminate before re-raising.
+                pool.terminate()
+                raise
+            finally:
+                pool.join()
+    finally:
+        if out_fh is not None:
+            out_fh.close()
     elapsed = time.perf_counter() - started
+    failed = sum(1 for row in rows if row.get("status") != "ok")
     if log is not None:
         log.write(
             f"ran {len(rows)} cells with {workers} worker(s) "
-            f"in {elapsed:.2f}s\n"
+            f"in {elapsed:.2f}s"
+            + (f" ({failed} failed)" if failed else "")
+            + "\n"
         )
-    if out_path:
-        write_jsonl(rows, out_path)
     return rows
 
 
@@ -367,6 +481,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--out", default=None, help="JSONL output path")
     parser.add_argument(
+        "--max-cell-retries",
+        type=int,
+        default=0,
+        help="re-run a raising cell this many extra times before recording "
+        "a failed row (default 0)",
+    )
+    parser.add_argument(
+        "--inject-crash-cell",
+        type=int,
+        action="append",
+        default=None,
+        metavar="N",
+        help="deliberately crash cell N (repeatable; exercises the "
+        "failed-row machinery, used by the CI sweep-smoke job)",
+    )
+    parser.add_argument(
         "--list-scenarios", action="store_true", help="print scenarios and exit"
     )
     args = parser.parse_args(argv)
@@ -396,20 +526,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         num_seeds = args.num_seeds
 
     cells = plan_cells(scenarios, num_seeds, policies, root_seed=args.root_seed)
-    rows = run_sweep(
-        cells,
-        preset=args.preset,
-        smoke=args.smoke,
-        workers=args.workers,
-        out_path=args.out,
-        log=sys.stderr,
-        cosim=args.cosim,
-    )
+    try:
+        rows = run_sweep(
+            cells,
+            preset=args.preset,
+            smoke=args.smoke,
+            workers=args.workers,
+            out_path=args.out,
+            log=sys.stderr,
+            cosim=args.cosim,
+            max_cell_retries=args.max_cell_retries,
+            inject_crash_cells=args.inject_crash_cell or (),
+        )
+    except KeyboardInterrupt:
+        print(
+            "sweep interrupted; completed rows"
+            + (f" are in {args.out}" if args.out else " were not persisted"),
+            file=sys.stderr,
+        )
+        return 130
     print(format_aggregates(aggregate_rows(rows)))
     if args.cosim:
         print(format_cosim_aggregates(aggregate_cosim_rows(rows)))
     if args.out:
         print(f"wrote {len(rows)} rows to {args.out}", file=sys.stderr)
+    failed = [row for row in rows if row.get("status") != "ok"]
+    if failed:
+        print(f"{len(failed)} cell(s) failed:", file=sys.stderr)
+        for row in failed:
+            print(
+                f"  cell {row['cell']} ({row['scenario']}/{row['policy']} "
+                f"seed {row['seed_index']}, {row['attempts']} attempt(s)): "
+                f"{row['error']}",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 

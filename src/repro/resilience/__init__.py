@@ -1,0 +1,66 @@
+"""Crash safety for the simulation engine: checkpoints, faults, chaos.
+
+Three pillars (see ``docs/RESILIENCE.md``):
+
+* **Checkpoint/restore** — :meth:`repro.sim.engine.Simulator.snapshot` /
+  :meth:`~repro.sim.engine.Simulator.resume` plus
+  ``SimulationConfig(checkpoint_interval=N)`` for periodic snapshots.
+  The contract is *exact resume*: a run resumed from any checkpoint
+  reproduces the uninterrupted run's decisions and metrics bit-identically
+  at every shard count, scalar and vectorized.
+* **Fault injection** — declarative :class:`FaultPlan` (coordinator crash,
+  shard kill/stall, dropped plan broadcast) attached via
+  ``SimulationConfig(fault_plan=...)``; a strict no-op when absent.
+* **Chaos harness** — ``python -m repro.resilience.chaos`` kills runs at
+  random events, resumes from the latest checkpoint and asserts hash
+  identity against the uninterrupted twin (the CI ``chaos-smoke`` gate).
+
+:mod:`.chaos` is intentionally not imported here: it pulls in the
+experiment layer, which itself imports the engine — importing it eagerly
+would cycle.
+"""
+
+from .faults import (
+    COORDINATOR_CRASH,
+    DROP_PLAN_BROADCAST,
+    FAULT_KINDS,
+    KILL_SHARD,
+    SHARD_FAULT_KINDS,
+    STALL_SHARD,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    SimulatedCrash,
+)
+from .record import (
+    DecisionRecord,
+    RecordingPolicy,
+    decision_hash,
+    describe_metrics_divergence,
+    first_divergence,
+    format_divergence,
+    metrics_digest,
+)
+from .snapshot import LatestSnapshotStore, SimulationSnapshot
+
+__all__ = [
+    "COORDINATOR_CRASH",
+    "DROP_PLAN_BROADCAST",
+    "DecisionRecord",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "KILL_SHARD",
+    "LatestSnapshotStore",
+    "RecordingPolicy",
+    "SHARD_FAULT_KINDS",
+    "STALL_SHARD",
+    "SimulatedCrash",
+    "SimulationSnapshot",
+    "decision_hash",
+    "describe_metrics_divergence",
+    "first_divergence",
+    "format_divergence",
+    "metrics_digest",
+]

@@ -1,0 +1,66 @@
+"""Checkpoint container + convenience sinks for crash-safe simulation.
+
+The engine's :meth:`~repro.sim.engine.Simulator.snapshot` captures the
+*entire* simulation state by pickling the simulator object graph — event
+queue heap and sequence counter, device runtimes / struct-of-arrays
+vector state, shard stream cursors and response heaps, scheduling plan +
+atom-index epoch, supply-estimator buckets, the RNG master key with every
+per-device draw counter, and all in-flight resource requests.  The pickle
+memo preserves the shared-reference structure (engine ↔ policy ↔ shard
+state point at the same objects), which is what makes the restored graph
+behave identically to the original.
+
+This module holds the plain-data wrapper around that payload plus a tiny
+sink for periodic checkpointing.  It is a leaf module (no package
+imports), so the engine can use it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class SimulationSnapshot:
+    """One full-state checkpoint of a :class:`~repro.sim.engine.Simulator`.
+
+    ``payload`` is the pickled simulator; ``events_processed`` / ``now`` /
+    ``started`` describe the capture point without deserialising (a
+    pre-run snapshot has ``started=False`` — resuming it replays the whole
+    run from scratch).
+    """
+
+    payload: bytes
+    events_processed: int
+    now: float
+    started: bool
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.payload)
+
+
+class LatestSnapshotStore:
+    """Checkpoint sink keeping the most recent snapshot (plus a count).
+
+    Pass as ``Simulator(..., checkpoint_sink=store)`` — or rely on the
+    simulator's own ``last_snapshot`` attribute; the store exists for
+    callers that outlive the simulator object (e.g. the chaos harness's
+    crash-and-resume loop) or want the history length.
+    """
+
+    def __init__(self, keep_history: bool = False) -> None:
+        self.latest: Optional[SimulationSnapshot] = None
+        self.count = 0
+        self.history: List[SimulationSnapshot] = []
+        self._keep_history = keep_history
+
+    def __call__(self, snapshot: SimulationSnapshot) -> None:
+        self.latest = snapshot
+        self.count += 1
+        if self._keep_history:
+            self.history.append(snapshot)
+
+
+__all__ = ["LatestSnapshotStore", "SimulationSnapshot"]

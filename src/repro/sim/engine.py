@@ -84,13 +84,27 @@ Policies that maintain a scheduling plan (Venn) expose a
 into ``SimulationMetrics.plan_maintenance`` at the end of the run so
 benchmarks and sweeps can report rebuilds avoided, index patch sizes and
 the plan-maintenance time share without reaching into the policy.
+
+Crash safety (``docs/RESILIENCE.md``)
+-------------------------------------
+
+:meth:`Simulator.snapshot` pickles the full simulator graph at an event
+boundary and :meth:`Simulator.resume` reconstructs it; the contract is
+*exact resume* — the continued run's decisions and metrics are
+bit-identical to the uninterrupted twin's at every shard count, scalar and
+vectorized (the chaos harness ``python -m repro.resilience.chaos`` enforces
+this).  ``SimulationConfig(checkpoint_interval=N)`` snapshots every N
+events; ``SimulationConfig(fault_plan=...)`` injects declarative faults
+(coordinator crash, shard kill/stall, dropped plan broadcast) at event
+boundaries — both are strict no-ops when unset.
 """
 
 from __future__ import annotations
 
 import heapq
+import pickle
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     Callable,
     Dict,
@@ -107,6 +121,8 @@ import numpy as np
 from ..core.policy import SchedulingPolicy
 from ..core.requirements import signature_of
 from ..core.types import DeviceProfile, JobSpec, ResourceRequest
+from ..resilience.faults import FaultInjector, FaultPlan
+from ..resilience.snapshot import SimulationSnapshot
 from ..traces.device_trace import DeviceAvailabilityTrace
 from ..traces.workloads import Workload
 from .device import SECONDS_PER_DAY, DeviceRuntime, DeviceStatus, day_index
@@ -172,6 +188,16 @@ class SimulationConfig:
     #: Record per-shard drain wall time (adds two clock reads per drained
     #: batch; used by ``examples/sharded_scale.py`` for the time split).
     profile_shards: bool = False
+    #: Periodic checkpointing: take a full-state snapshot every N processed
+    #: events (``None`` disables).  Snapshots land on the simulator's
+    #: ``last_snapshot`` attribute and, if one was given, its
+    #: ``checkpoint_sink`` callable.  Resuming from any checkpoint replays
+    #: the uninterrupted run bit-identically — see ``docs/RESILIENCE.md``.
+    checkpoint_interval: Optional[int] = None
+    #: Declarative fault injection (:class:`repro.resilience.FaultPlan`);
+    #: ``None`` (the default) is a strict no-op — pristine runs replay the
+    #: historical event and draw sequences exactly.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -195,6 +221,15 @@ class SimulationConfig:
                 "the sharded engine subsumes the indexed fast path; "
                 "indexed_dispatch=False is only meaningful with num_shards=1"
             )
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive (or None)")
+        if self.fault_plan is not None and not isinstance(
+            self.fault_plan, FaultPlan
+        ):
+            raise TypeError(
+                "fault_plan must be a repro.resilience.FaultPlan "
+                f"(got {type(self.fault_plan).__name__})"
+            )
 
     @property
     def use_sharded_engine(self) -> bool:
@@ -204,6 +239,12 @@ class SimulationConfig:
         if self.sharded_dispatch is not None:
             return bool(self.sharded_dispatch)
         return self.num_shards > 1
+
+
+#: Sentinel for ``Simulator.resume``: keep the snapshot's pickled fault
+#: injector (so unfired faults replay deterministically) unless the caller
+#: explicitly passes a replacement plan — including ``None`` to clear it.
+_KEEP_FAULTS = object()
 
 
 class Simulator:
@@ -218,6 +259,7 @@ class Simulator:
         config: Optional[SimulationConfig] = None,
         categories: Optional[Mapping[int, str]] = None,
         round_callback: Optional[Callable[[RoundCompletion], None]] = None,
+        checkpoint_sink: Optional[Callable[[SimulationSnapshot], None]] = None,
     ) -> None:
         self.config = config or SimulationConfig()
         self.policy = policy
@@ -320,6 +362,33 @@ class Simulator:
             horizon=self.config.horizon,
         )
         self._events_processed = 0
+        # -------------------------------------------------------------- #
+        # Crash safety (docs/RESILIENCE.md)
+        # -------------------------------------------------------------- #
+        #: Receives each periodic SimulationSnapshot; not pickled into
+        #: snapshots (reattach one via ``resume(checkpoint_sink=...)``).
+        self._checkpoint_sink = checkpoint_sink
+        #: The most recent snapshot (periodic or explicit ``snapshot()``).
+        self.last_snapshot: Optional[SimulationSnapshot] = None
+        #: Whether ``run`` already performed its one-time setup (initial
+        #: event scheduling / shard builds).  Snapshotted, so a resumed
+        #: run continues mid-stream instead of re-seeding the queues.
+        self._started = False
+        #: Whether the run already completed and finalised its metrics.
+        #: ``run`` on a finished simulator (e.g. one resumed from a
+        #: post-run snapshot) is then a no-op returning the final metrics
+        #: — re-entering the loop would pop leftover queued events and
+        #: re-merge shard metrics into the already-final totals.
+        self._finished = False
+        #: Event count at the last periodic checkpoint (or run start).
+        self._ckpt_last_events = 0
+        self.checkpoints_taken = 0
+        self.checkpoint_time_s = 0.0
+        self._injector: Optional[FaultInjector] = (
+            FaultInjector(self.config.fault_plan)
+            if self.config.fault_plan is not None
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # Setup
@@ -348,9 +417,15 @@ class Simulator:
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationMetrics:
         """Run the simulation to the horizon and return aggregate metrics."""
+        if self._finished:
+            return self._metrics
         if self._sharded:
             return self._run_sharded()
-        self._schedule_initial_events()
+        if not self._started:
+            self._started = True
+            self._schedule_initial_events()
+        if self._injector is not None:
+            self._injector.validate(self)
         handlers = {
             EventType.JOB_ARRIVAL: self._on_job_arrival,
             EventType.DEVICE_CHECKIN: self._on_device_checkin,
@@ -359,6 +434,12 @@ class Simulator:
             EventType.REQUEST_DEADLINE: self._on_request_deadline,
         }
         batch_checkins = self._indexed
+        # One pristine-path branch per event: with no checkpointing and no
+        # faults the loop body is byte-for-byte the historical one.
+        hook = (
+            self.config.checkpoint_interval is not None
+            or self._injector is not None
+        )
         while self.queue:
             event = self.queue.pop()
             if event is None:
@@ -383,15 +464,151 @@ class Simulator:
                     "simulation exceeded max_events; check for livelock or "
                     "raise SimulationConfig.max_events"
                 )
+            if hook:
+                self._post_event_hook()
             if self._unfinished_jobs == 0:
                 break
         self._finalise()
+        self._finished = True
         return self._metrics
 
     @property
     def events_processed(self) -> int:
         """Number of events handled so far (exposed for benchmarks)."""
         return self._events_processed
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore (docs/RESILIENCE.md)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # Callbacks are the caller's liveness, not simulation state: a
+        # snapshot must not drag closures (often unpicklable) along, and
+        # keeping last_snapshot would nest payloads snowball-style.
+        state["_round_callback"] = None
+        state["_checkpoint_sink"] = None
+        state["last_snapshot"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def snapshot(self) -> SimulationSnapshot:
+        """Capture the complete simulation state as one pickle payload.
+
+        Valid at any event boundary: before ``run`` (``started=False`` —
+        resuming replays the whole run), at a periodic checkpoint, or
+        after the run finished.  The pickle memo preserves every shared
+        reference (policy ↔ requests ↔ devices ↔ shard state ↔ RNG), so
+        ``resume`` reconstructs a graph that continues bit-identically —
+        the exact-resume contract enforced by the chaos harness.
+        """
+        payload = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        return SimulationSnapshot(
+            payload=payload,
+            events_processed=self._events_processed,
+            now=self.now,
+            started=self._started,
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        snapshot: Union[SimulationSnapshot, bytes],
+        *,
+        round_callback: Optional[Callable[[RoundCompletion], None]] = None,
+        checkpoint_sink: Optional[Callable[[SimulationSnapshot], None]] = None,
+        fault_plan=_KEEP_FAULTS,
+    ) -> "Simulator":
+        """Reconstruct a simulator from a snapshot; call ``run`` to continue.
+
+        Callbacks are not captured in snapshots — reattach them here.  By
+        default the snapshot's fault injector (with its fired/pending
+        cursor) is kept, so faults that had not fired at checkpoint time
+        replay deterministically; pass ``fault_plan=None`` to resume
+        fault-free (what the chaos harness does so the crash that killed
+        the original run does not fire again), or a new
+        :class:`~repro.resilience.FaultPlan` to swap plans.
+        """
+        payload = (
+            snapshot.payload
+            if isinstance(snapshot, SimulationSnapshot)
+            else snapshot
+        )
+        sim = pickle.loads(payload)
+        if not isinstance(sim, cls):
+            raise TypeError(
+                f"snapshot does not contain a {cls.__name__} "
+                f"(got {type(sim).__name__})"
+            )
+        sim._round_callback = round_callback
+        sim._checkpoint_sink = checkpoint_sink
+        sim.last_snapshot = None
+        if fault_plan is not _KEEP_FAULTS:
+            sim.config = replace(sim.config, fault_plan=fault_plan)
+            sim._injector = (
+                FaultInjector(fault_plan) if fault_plan is not None else None
+            )
+        return sim
+
+    def _take_checkpoint(self) -> None:
+        # Mark progress *before* pickling so the resumed run inherits an
+        # up-to-date watermark and does not immediately re-checkpoint.
+        self._ckpt_last_events = self._events_processed
+        self.checkpoints_taken += 1
+        t0 = time.perf_counter()
+        snap = self.snapshot()
+        self.checkpoint_time_s += time.perf_counter() - t0
+        self.last_snapshot = snap
+        if self._checkpoint_sink is not None:
+            self._checkpoint_sink(snap)
+
+    def _post_event_hook(self) -> bool:
+        """Checkpoint + fault poll at an event boundary.
+
+        Returns True when a fired fault mutated shard state (response
+        heaps rewritten, cursors advanced, plan versions re-broadcast) —
+        the sharded loop must then refresh its cached head keys.  The
+        checkpoint is taken *before* the poll: a crash fault propagates
+        with the checkpoint already captured, exactly the order a real
+        deployment needs.
+        """
+        interval = self.config.checkpoint_interval
+        if (
+            interval is not None
+            and self._events_processed - self._ckpt_last_events >= interval
+        ):
+            self._take_checkpoint()
+        if self._injector is not None:
+            return self._injector.poll(self)
+        return False
+
+    def fault_stats(self) -> Dict[str, int]:
+        """Injector counters + summed per-shard degraded-mode counters.
+
+        Injector keys count faults *scheduled* (e.g. ``broadcasts_dropped``
+        = drop faults fired); the ``shard_``-prefixed keys count effects
+        *observed* by shards (e.g. ``shard_broadcasts_dropped`` = plan
+        versions actually withheld) — the two can differ, so both are kept.
+        All zeros on a pristine run.
+        """
+        stats: Dict[str, int] = {
+            "faults_fired": 0,
+            "crashes": 0,
+            "shards_killed": 0,
+            "shards_stalled": 0,
+            "broadcasts_dropped": 0,
+            "plan_rebroadcasts": 0,
+        }
+        if self._injector is not None:
+            stats.update(self._injector.stats)
+        totals: Dict[str, int] = {}
+        for shard in self._shards:
+            for key, value in shard.fault_counters().items():
+                totals[key] = totals.get(key, 0) + value
+        for key, value in totals.items():
+            stats[f"shard_{key}"] = value
+        return stats
 
     # ------------------------------------------------------------------ #
     # Coordinator/shard engine
@@ -444,14 +661,24 @@ class Simulator:
         events and coordinator events go through the per-event path because
         they can reschedule work on any source.
         """
-        self._setup_sharded()
-        if self._vectorized:
-            self._setup_vector_state()
+        if not self._started:
+            self._started = True
+            self._setup_sharded()
+            if self._vectorized:
+                self._setup_vector_state()
+        if self._injector is not None:
+            self._injector.validate(self)
         horizon = self.config.horizon
         queue = self.queue
         shards = self._shards
         num_shards = len(shards)
         profile_shards = self.config.profile_shards
+        # One pristine-path branch per iteration: with no checkpointing and
+        # no faults the merge loop is byte-for-byte the historical one.
+        hook = (
+            self.config.checkpoint_interval is not None
+            or self._injector is not None
+        )
         drain = self._drain_shard_vec if self._vectorized else self._drain_shard
         handle_response = (
             self._handle_shard_response_vec
@@ -491,6 +718,11 @@ class Simulator:
                 for i in dirty:
                     heads[i] = shards[i].head_key()
                 dirty.clear()
+                if hook and self._post_event_hook():
+                    # A fired fault rewrote shard queues; every cached head
+                    # key may be stale.
+                    for i in range(num_shards):
+                        heads[i] = shards[i].head_key()
                 if self._unfinished_jobs == 0:
                     break
                 continue
@@ -518,6 +750,9 @@ class Simulator:
                     for i in dirty:
                         heads[i] = shards[i].head_key()
                     dirty.clear()
+                if hook and self._post_event_hook():
+                    for i in range(num_shards):
+                        heads[i] = shards[i].head_key()
                 if self._unfinished_jobs == 0:
                     break
                 continue
@@ -535,7 +770,13 @@ class Simulator:
                 drain(shard, limit, horizon)
             heads[best_i] = shard.head_key()
             dirty.discard(best_i)
+            if hook and self._post_event_hook():
+                q_key = queue.peek_key() or INF_KEY
+                for i in range(num_shards):
+                    heads[i] = shards[i].head_key()
+                dirty.clear()
         self._finalise()
+        self._finished = True
         return self._metrics
 
     def _drain_shard(
@@ -1562,4 +1803,9 @@ def run_simulation(
     return sim.run()
 
 
-__all__ = ["SimulationConfig", "Simulator", "run_simulation"]
+__all__ = [
+    "SimulationConfig",
+    "SimulationSnapshot",
+    "Simulator",
+    "run_simulation",
+]

@@ -46,6 +46,7 @@ processes are pure overhead).
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -218,6 +219,18 @@ class DeviceShard:
         #: Wall time the coordinator spent draining this shard's batches
         #: (populated only when the engine runs with ``profile_shards``).
         self.drain_time_s = 0.0
+        #: Fault-injection state (:mod:`repro.resilience.faults`).  The
+        #: defaults keep the pristine path byte-identical: ``down_until``
+        #: stays 0.0 (every response time is >= 0, so the outage rewrite in
+        #: :meth:`schedule_response` never triggers) and the drop counter
+        #: stays 0.
+        self.down_until = 0.0
+        self.broadcast_drop_pending = 0
+        self.broadcasts_dropped = 0
+        self.plan_rebroadcasts = 0
+        self.static_skipped = 0
+        self.responses_failed_by_fault = 0
+        self.responses_delayed_by_fault = 0
         #: Numpy twins of the static stream (vectorized engine only; built
         #: by :meth:`attach_vector_arrays`).
         self.sa_time: Optional[np.ndarray] = None
@@ -272,12 +285,100 @@ class DeviceShard:
     ) -> None:
         """Coordinator→shard message: one of this shard's devices was
         assigned; its (pre-drawn) response fires at ``time``."""
+        if time < self.down_until:
+            # Fault injection: the shard is dead when this task would have
+            # reported.  The work is lost; the coordinator observes the
+            # failure when the shard reconnects.  (``down_until`` is 0.0 on
+            # pristine runs, so this branch is unreachable there.)
+            time = self.down_until
+            success = False
+            self.responses_failed_by_fault += 1
         heapq.heappush(
             self.heap, (time, seq, device_id, request_id, job_id, success)
         )
         self.assignments_received += 1
         if plan_version is not None:
-            self.last_plan_version = plan_version
+            if self.broadcast_drop_pending:
+                # Fault injection: this assignment's plan broadcast was
+                # lost in flight; the shard keeps its stale plan version
+                # until the coordinator's re-broadcast lands.
+                self.broadcast_drop_pending -= 1
+                self.broadcasts_dropped += 1
+            else:
+                self.last_plan_version = plan_version
+
+    # ------------------------------------------------------------------ #
+    # Fault injection (:mod:`repro.resilience.faults`)
+    # ------------------------------------------------------------------ #
+    def kill_until(self, end: float) -> None:
+        """The shard dies now and reconnects at ``end`` (simulated time).
+
+        Three degraded-mode effects, all deterministic:
+
+        * in-flight responses due during the outage are lost — they are
+          rewritten to *failures delivered at* ``end`` (original sequence
+          numbers kept, so the post-outage order is total and
+          reproducible);
+        * static check-ins/checkouts during the outage never reach the
+          coordinator — the stream cursor skips past them (the defensive
+          idle-pool filters make the resulting stale entries harmless);
+        * until ``end``, new assignments to this shard's devices are
+          converted to reconnect-time failures by
+          :meth:`schedule_response` — the coordinator proceeds on stale
+          state and learns of the losses when the shard returns.
+        """
+        self.down_until = max(self.down_until, end)
+        if self.heap:
+            rewritten = []
+            changed = False
+            for (t, seq, dev, req, job, success) in self.heap:
+                if t < end:
+                    rewritten.append((end, seq, dev, req, job, False))
+                    self.responses_failed_by_fault += 1
+                    changed = True
+                else:
+                    rewritten.append((t, seq, dev, req, job, success))
+            if changed:
+                heapq.heapify(rewritten)
+                self.heap = rewritten
+        hi = bisect_left(self.st_time, end, self.cursor)
+        if hi > self.cursor:
+            self.static_skipped += hi - self.cursor
+            self.cursor = hi
+
+    def delay_responses_until(self, end: float) -> None:
+        """The shard's response drain stalls until ``end``.
+
+        In-flight responses due during the stall are delivered — outcomes
+        unchanged — when the drain recovers at ``end``.  Responses landing
+        after their request's deadline hit the engine's defensive
+        closed-request path (budget refund), exactly like any late
+        straggler.
+        """
+        if not self.heap:
+            return
+        rewritten = []
+        changed = False
+        for (t, seq, dev, req, job, success) in self.heap:
+            if t < end:
+                rewritten.append((end, seq, dev, req, job, success))
+                self.responses_delayed_by_fault += 1
+                changed = True
+            else:
+                rewritten.append((t, seq, dev, req, job, success))
+        if changed:
+            heapq.heapify(rewritten)
+            self.heap = rewritten
+
+    def fault_counters(self) -> Dict[str, int]:
+        """Per-shard degraded-mode counters (all zero on pristine runs)."""
+        return {
+            "static_skipped": self.static_skipped,
+            "responses_failed_by_fault": self.responses_failed_by_fault,
+            "responses_delayed_by_fault": self.responses_delayed_by_fault,
+            "broadcasts_dropped": self.broadcasts_dropped,
+            "plan_rebroadcasts": self.plan_rebroadcasts,
+        }
 
     def stats(self) -> Dict[str, object]:
         """Per-shard summary for benchmarks and the scaling example."""
@@ -292,6 +393,7 @@ class DeviceShard:
             "assignments_received": self.assignments_received,
             "last_plan_version": self.last_plan_version,
             "drain_time_s": round(self.drain_time_s, 4),
+            **self.fault_counters(),
         }
 
 

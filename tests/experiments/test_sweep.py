@@ -97,7 +97,12 @@ class TestRunSweep:
 
     def test_rows_match_serial_run_cell(self, tiny_cells):
         rows = run_sweep(tiny_cells, workers=2)
-        assert rows == [run_cell(c) for c in tiny_cells]
+        expected = [run_cell(c) for c in tiny_cells]
+        for row in expected:
+            # The runner stamps the fault-tolerance status on every row
+            # (failed cells get status: "failed" + error + traceback).
+            row["status"] = "ok"
+        assert rows == expected
 
     def test_row_schema(self, tiny_cells):
         row = run_cell(tiny_cells[0])

@@ -1,0 +1,117 @@
+"""Unit tests for decision recording, digests and divergence diagnostics."""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import struct
+
+from repro.core.baselines import FIFOPolicy
+from repro.resilience import (
+    RecordingPolicy,
+    decision_hash,
+    describe_metrics_divergence,
+    first_divergence,
+    format_divergence,
+    metrics_digest,
+)
+from repro.sim.metrics import SimulationMetrics
+from tests.resilience.conftest import build_sim
+
+DECISIONS = [(10.0, 3, 1), (12.5, 7, 1), (40.0, 3, 2)]
+
+
+class TestDecisionHash:
+    def test_byte_compatible_with_historical_accumulator(self):
+        """The digest must equal the benchmark's original running blake2b
+        (one ``<dqq`` pack per record) — baselines depend on it."""
+        fp = hashlib.blake2b(digest_size=16)
+        for now, device_id, job_id in DECISIONS:
+            fp.update(struct.pack("<dqq", now, device_id, job_id))
+        assert decision_hash(DECISIONS) == fp.hexdigest()
+
+    def test_order_sensitive(self):
+        assert decision_hash(DECISIONS) != decision_hash(DECISIONS[::-1])
+
+    def test_empty(self):
+        assert decision_hash([]) == hashlib.blake2b(digest_size=16).hexdigest()
+
+
+class TestFirstDivergence:
+    def test_identical(self):
+        assert first_divergence(DECISIONS, list(DECISIONS)) is None
+
+    def test_mid_sequence(self):
+        other = list(DECISIONS)
+        other[1] = (12.5, 8, 1)
+        assert first_divergence(DECISIONS, other) == 1
+
+    def test_strict_prefix_diverges_at_shorter_length(self):
+        assert first_divergence(DECISIONS, DECISIONS[:2]) == 2
+        assert first_divergence(DECISIONS[:2], DECISIONS) == 2
+
+    def test_both_empty(self):
+        assert first_divergence([], []) is None
+
+
+class TestFormatDivergence:
+    def test_names_index_and_both_records(self):
+        other = list(DECISIONS)
+        other[1] = (12.5, 8, 1)
+        text = format_divergence(DECISIONS, other, "ref", "cand")
+        assert "index 1" in text
+        assert "device=7" in text and "device=8" in text
+        assert "ref" in text and "cand" in text
+
+    def test_prefix_mentions_missing_record(self):
+        text = format_divergence(DECISIONS, DECISIONS[:2])
+        assert "index 2" in text
+        assert "only 2 decisions" in text
+
+    def test_identical_sequences(self):
+        assert "identical" in format_divergence(DECISIONS, list(DECISIONS))
+
+
+class TestDescribeMetricsDivergence:
+    def _metrics(self, responses=10):
+        return SimulationMetrics(
+            policy="p", horizon=100.0, total_checkins=5,
+            total_responses=responses, total_failures=1, total_aborts=0,
+        )
+
+    def test_counter_divergence_named(self):
+        text = describe_metrics_divergence(self._metrics(10), self._metrics(11))
+        assert "total_responses" in text
+        assert "10" in text and "11" in text
+
+    def test_identical(self):
+        a, b = self._metrics(), self._metrics()
+        assert metrics_digest(a) == metrics_digest(b)
+        assert "identical" in describe_metrics_divergence(a, b)
+
+
+class TestRecordingPolicy:
+    def test_forwards_attributes_and_records_assignments(self):
+        sim = build_sim()
+        metrics = sim.run()
+        policy = sim.policy
+        assert isinstance(policy, RecordingPolicy)
+        assert policy.decisions, "the small run must make assignments"
+        # Every record is (now, device_id, job_id) with known job ids.
+        for now, device_id, job_id in policy.decisions:
+            assert 0.0 <= now <= sim.config.horizon
+            assert job_id in metrics.jobs
+            assert 0 <= device_id < 40
+        assert policy.decision_hash == decision_hash(policy.decisions)
+
+    def test_name_forwarding(self):
+        wrapped = RecordingPolicy(FIFOPolicy())
+        assert wrapped.name == FIFOPolicy().name
+
+    def test_pickle_round_trip_preserves_records(self):
+        wrapped = RecordingPolicy(FIFOPolicy())
+        wrapped.decisions.extend(DECISIONS)
+        clone = pickle.loads(pickle.dumps(wrapped))
+        assert clone.decisions == DECISIONS
+        assert clone.name == wrapped.name
+        assert clone.decision_hash == wrapped.decision_hash

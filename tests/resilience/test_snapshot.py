@@ -1,0 +1,168 @@
+"""Exact-resume contract: snapshot/restore is invisible to the simulation.
+
+The load-bearing property (docs/RESILIENCE.md): a run killed at any event
+boundary and resumed from any earlier snapshot finishes with the same
+decision sequence and the same metrics as its uninterrupted twin — on the
+single-queue engine, the sharded engine and the vectorized hot path alike.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import (
+    LatestSnapshotStore,
+    SimulationSnapshot,
+    metrics_digest,
+)
+from repro.sim.engine import Simulator
+from tests.resilience.conftest import build_sim, kill_and_resume
+
+ENGINE_MODES = [
+    pytest.param({}, id="scalar"),
+    pytest.param({"num_shards": 2}, id="sharded"),
+    pytest.param({"num_shards": 2, "vectorized": True}, id="vectorized"),
+]
+
+
+class TestExactResume:
+    @pytest.mark.parametrize("mode", ENGINE_MODES)
+    def test_kill_and_resume_is_bit_identical(self, mode):
+        reference, ref_metrics, resumed, res_metrics = kill_and_resume(
+            at_event=25, checkpoint_every=10, **mode
+        )
+        assert resumed.policy.decisions == reference.policy.decisions
+        assert metrics_digest(res_metrics) == metrics_digest(ref_metrics)
+        assert resumed.events_processed == reference.events_processed
+
+    @pytest.mark.parametrize("mode", ENGINE_MODES)
+    def test_crash_before_first_checkpoint_replays_from_scratch(self, mode):
+        """With the crash earlier than any periodic checkpoint the fallback
+        is the pre-run snapshot — a full, still bit-identical replay."""
+        reference, ref_metrics, resumed, res_metrics = kill_and_resume(
+            at_event=5, checkpoint_every=10_000, **mode
+        )
+        assert resumed.policy.decisions == reference.policy.decisions
+        assert metrics_digest(res_metrics) == metrics_digest(ref_metrics)
+
+    def test_pre_run_snapshot_resumes_the_whole_run(self):
+        reference = build_sim()
+        ref_metrics = reference.run()
+        fresh = build_sim()
+        snap = fresh.snapshot()
+        assert snap.started is False
+        assert snap.events_processed == 0
+        resumed = Simulator.resume(snap)
+        res_metrics = resumed.run()
+        assert resumed.policy.decisions == reference.policy.decisions
+        assert metrics_digest(res_metrics) == metrics_digest(ref_metrics)
+
+    def test_post_run_snapshot_resumes_to_a_noop(self):
+        sim = build_sim()
+        metrics = sim.run()
+        resumed = Simulator.resume(sim.snapshot())
+        res_metrics = resumed.run()
+        assert resumed.events_processed == sim.events_processed
+        assert metrics_digest(res_metrics) == metrics_digest(metrics)
+
+
+class TestCheckpointing:
+    def test_interval_accounting(self):
+        store = LatestSnapshotStore(keep_history=True)
+        sim = build_sim(checkpoint_interval=10, checkpoint_sink=store)
+        sim.run()
+        expected = sim.events_processed // 10
+        assert sim.checkpoints_taken == pytest.approx(expected, abs=1)
+        assert store.count == sim.checkpoints_taken
+        assert sim.checkpoint_time_s > 0.0
+        # Snapshots arrive in event order, ~interval apart.
+        marks = [snap.events_processed for snap in store.history]
+        assert marks == sorted(marks)
+        assert all(b - a >= 10 for a, b in zip(marks, marks[1:]))
+
+    def test_checkpointing_is_pure_observation(self):
+        """Decisions and metrics are bit-identical with checkpointing on."""
+        plain = build_sim()
+        plain_metrics = plain.run()
+        observed = build_sim(
+            checkpoint_interval=7, checkpoint_sink=LatestSnapshotStore()
+        )
+        observed_metrics = observed.run()
+        assert observed.policy.decisions == plain.policy.decisions
+        assert metrics_digest(observed_metrics) == metrics_digest(plain_metrics)
+
+    def test_last_snapshot_kept_without_sink(self):
+        sim = build_sim(checkpoint_interval=10)
+        sim.run()
+        assert sim.last_snapshot is not None
+        assert sim.last_snapshot.events_processed <= sim.events_processed
+
+    def test_snapshot_metadata_and_size(self):
+        sim = build_sim()
+        snap = sim.snapshot()
+        assert isinstance(snap, SimulationSnapshot)
+        assert snap.size_bytes == len(snap.payload) > 0
+
+    def test_resume_accepts_raw_bytes(self):
+        sim = build_sim()
+        snap = sim.snapshot()
+        resumed = Simulator.resume(snap.payload)
+        assert resumed.events_processed == 0
+
+    def test_resume_rejects_foreign_payload(self):
+        import pickle
+
+        with pytest.raises(TypeError):
+            Simulator.resume(pickle.dumps({"not": "a simulator"}))
+
+    def test_resume_reattaches_callbacks(self):
+        """Sinks/callbacks are dropped from snapshots and must be
+        re-suppliable at resume time."""
+        sim = build_sim(checkpoint_interval=10)
+        sim.run()
+        store = LatestSnapshotStore()
+        rounds = []
+        resumed = Simulator.resume(
+            build_sim(checkpoint_interval=10).snapshot(),
+            round_callback=rounds.append,
+            checkpoint_sink=store,
+        )
+        resumed.run()
+        assert store.count > 0
+        assert rounds, "round callback must fire on the resumed run"
+
+    def test_resumed_run_does_not_immediately_recheckpoint(self):
+        """The checkpoint watermark travels with the snapshot: resuming
+        right after a checkpoint must not take another one at once."""
+        store = LatestSnapshotStore(keep_history=True)
+        sim = build_sim(checkpoint_interval=10, checkpoint_sink=store)
+        sim.run()
+        resume_store = LatestSnapshotStore(keep_history=True)
+        resumed = Simulator.resume(
+            store.history[0], checkpoint_sink=resume_store
+        )
+        resumed.run()
+        first_after = resume_store.history[0].events_processed
+        assert first_after - store.history[0].events_processed >= 10
+
+
+class TestLatestSnapshotStore:
+    def _snap(self, events):
+        return SimulationSnapshot(
+            payload=b"x", events_processed=events, now=float(events),
+            started=True,
+        )
+
+    def test_keeps_only_latest_by_default(self):
+        store = LatestSnapshotStore()
+        store(self._snap(1))
+        store(self._snap(2))
+        assert store.count == 2
+        assert store.latest.events_processed == 2
+        assert store.history == []
+
+    def test_history_mode(self):
+        store = LatestSnapshotStore(keep_history=True)
+        for i in range(3):
+            store(self._snap(i))
+        assert [s.events_processed for s in store.history] == [0, 1, 2]

@@ -41,6 +41,15 @@ Axes that can be compared:
   reference.  Decision hash, metrics digest and event count must all match
   — the vectorized-identity gate is fatal like the shard gate — and the
   per-shard-count events/sec ratio is recorded in the artifact.
+* **batched vs per-device decisions** (``--assign-batch-compare``): every
+  vectorized cell re-run with ``SimulationConfig(batched_assign=False)``,
+  so large dispatch cohorts go through per-device ``assign`` consults
+  instead of ``assign_batch``/``assign_batch_bulk``.  Decision hash,
+  metrics digest and event count must match bit-for-bit (fatal), and the
+  batched/unbatched events-per-second ratio is recorded.  Add
+  ``--decision-profile`` for an instrumented cell with a per-phase
+  breakdown of the batched decision path (candidate lookup / admission /
+  bookkeeping / outcome sampling).
 * **checkpointed vs uncheckpointed** (``--checkpoint-compare``, interval
   ``--checkpoint-every``): the primary cell re-run with periodic
   full-state snapshots (``SimulationConfig(checkpoint_interval=N)``,
@@ -135,6 +144,13 @@ class TimedPolicy:
         self.name = getattr(inner, "name", type(inner).__name__)
         self.assign_latencies: List[float] = []
         self.decisions: List[Tuple[float, int, int]] = []
+        self.batch_assign_s = 0.0
+        self.batch_devices = 0
+        self.batch_proposals = 0
+        if not hasattr(inner, "assign_batch_bulk"):
+            # Don't advertise the ledger path for policies that lack it —
+            # the engine probes with getattr and must fall back cleanly.
+            self.assign_batch_bulk = None
 
     def assign(self, device, now):
         t0 = time.perf_counter()
@@ -144,9 +160,56 @@ class TimedPolicy:
             self.decisions.append((now, device.device_id, out.job_id))
         return out
 
+    def assign_batch(self, devices, now, commit):
+        # Explicit wrapper (``__getattr__`` delegation would bypass
+        # recording): proposals are logged from inside the commit callback,
+        # which the policy invokes in offer order — the same order the
+        # scalar path appends its records.  Commit-time recording matches
+        # assign-time recording because every shipped policy's proposals
+        # pass engine validation (they all pre-filter on open/demand/
+        # not-assigned before proposing).
+        decisions = self.decisions
+        device_ids = [d.device_id for d in devices]
+
+        def recording_commit(i, request):
+            decisions.append((now, device_ids[i], request.job_id))
+            self.batch_proposals += 1
+            return commit(i, request)
+
+        t0 = time.perf_counter()
+        out = self._inner.assign_batch(devices, now, recording_commit)
+        self.batch_assign_s += time.perf_counter() - t0
+        self.batch_devices += len(devices)
+        return out
+
+    def assign_batch_bulk(self, devices, now):
+        # Same reasoning as assign_batch: without an explicit wrapper the
+        # engine would resolve the inner policy's ledger path directly and
+        # the proposals would never reach the decision record.
+        t0 = time.perf_counter()
+        consumed, proposals = self._inner.assign_batch_bulk(devices, now)
+        self.batch_assign_s += time.perf_counter() - t0
+        self.batch_devices += consumed
+        self.batch_proposals += len(proposals)
+        decisions = self.decisions
+        for i, request in proposals:
+            decisions.append((now, devices[i].device_id, request.job_id))
+        return consumed, proposals
+
     @property
     def decision_hash(self) -> str:
         return decision_hash(self.decisions)
+
+    @property
+    def profile_decisions(self):
+        return getattr(self._inner, "profile_decisions", False)
+
+    @profile_decisions.setter
+    def profile_decisions(self, value):
+        # The engine flips this flag on the policy it was handed; plain
+        # assignment would land in the wrapper's dict, not the inner
+        # policy's, and profiling would silently stay off.
+        self._inner.profile_decisions = value
 
     def __getattr__(self, item):
         # Guarded like RecordingPolicy: pickle probes attributes on an
@@ -209,6 +272,8 @@ def run_cell(
     num_shards: int = 1,
     vectorized: bool = False,
     checkpoint_interval: Optional[int] = None,
+    batched: bool = True,
+    profile_decisions: bool = False,
 ) -> Dict:
     """Run one cell ``repeats`` times and keep the fastest run.
 
@@ -222,6 +287,7 @@ def run_cell(
         cell = _run_cell_once(
             num_devices, num_jobs, horizon, seed, policy_name, indexed,
             maintenance, num_shards, vectorized, checkpoint_interval,
+            batched, profile_decisions,
         )
         if best is not None and cell["decision_hash"] != best["decision_hash"]:
             raise AssertionError(
@@ -244,6 +310,8 @@ def _run_cell_once(
     num_shards: int = 1,
     vectorized: bool = False,
     checkpoint_interval: Optional[int] = None,
+    batched: bool = True,
+    profile_decisions: bool = False,
 ) -> Dict:
     devices, trace, workload = build_cell(num_devices, num_jobs, horizon, seed)
     kwargs = {}
@@ -260,13 +328,19 @@ def _run_cell_once(
         num_shards=num_shards,
         vectorized_dispatch=vectorized,
         checkpoint_interval=checkpoint_interval,
+        batched_assign=batched,
+        profile_decisions=profile_decisions,
     )
     sim = Simulator(devices, trace, workload, policy, config)
     t0 = time.perf_counter()
     metrics = sim.run()
     wall = time.perf_counter() - t0
     lat = np.asarray(policy.assign_latencies, dtype=float)
-    if vectorized:
+    if profile_decisions:
+        path = "decision-profile"
+    elif vectorized and not batched:
+        path = "vectorized-unbatched"
+    elif vectorized:
         path = "vectorized"
     elif num_shards > 1:
         path = "sharded"
@@ -305,6 +379,22 @@ def _run_cell_once(
         "_decisions": policy.decisions,
         "_metrics": metrics,
     }
+    if vectorized:
+        cell["batched_assign"] = batched
+        cell["batch_devices"] = policy.batch_devices
+        cell["batch_proposals"] = policy.batch_proposals
+        cell["batch_assign_s"] = round(policy.batch_assign_s, 4)
+    if profile_decisions:
+        # Per-phase wall-time breakdown of the batched decision path: the
+        # policy accounts candidate lookup / admission / bookkeeping, the
+        # engine accounts outcome sampling (the batched rng draws at
+        # flush time).
+        breakdown = dict(getattr(policy, "decision_profile", {}) or {})
+        for key_, value in list(breakdown.items()):
+            if isinstance(value, float):
+                breakdown[key_] = round(value, 4)
+        breakdown["outcome_sampling_s"] = round(sim.outcome_sampling_s, 4)
+        cell["decision_profile"] = breakdown
     if checkpoint_interval is not None:
         cell["checkpoint_interval"] = checkpoint_interval
         cell["checkpoints_taken"] = sim.checkpoints_taken
@@ -443,6 +533,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "struct-of-arrays hot path too; decision hash, "
                              "metrics hash and event count must match the "
                              "scalar run bit-for-bit (fatal otherwise)")
+    parser.add_argument("--assign-batch-compare", action="store_true",
+                        help="run an unbatched (batched_assign=False) twin "
+                             "of every vectorized cell; decision hash, "
+                             "metrics hash and event count must match the "
+                             "batched run bit-for-bit (fatal otherwise).  "
+                             "Implies --vectorized-compare")
+    parser.add_argument("--decision-profile", action="store_true",
+                        help="add an instrumented vectorized cell per sweep "
+                             "point with a per-phase breakdown of the "
+                             "batched decision path (candidate lookup / "
+                             "admission / bookkeeping / outcome sampling) "
+                             "in the JSON artifact")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny sweep for CI (overrides sweep + horizon, "
                              "implies --compare, --maintenance-compare and "
@@ -470,8 +572,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.maintenance_compare = True
         args.vectorized_compare = True
         args.checkpoint_compare = True
+        args.assign_batch_compare = True
         if args.shard_counts == [1]:
             args.shard_counts = [1, 2]
+    if args.assign_batch_compare:
+        # The unbatched twin compares against the vectorized cell.
+        args.vectorized_compare = True
 
     policy_is_venn = args.policy.startswith("venn")
     decision_mismatch = False
@@ -611,6 +717,92 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "events_per_sec_ratio": round(ratio, 3),
                     "decisions_identical": identical,
                 })
+
+            if args.assign_batch_compare:
+                for shards in sorted(set(args.shard_counts)):
+                    vec_cell = by_combo.get(
+                        ("vectorized", maint_primary, shards)
+                    )
+                    if vec_cell is None:
+                        continue
+                    print(
+                        f"[cell] devices={n_dev} jobs={n_jobs} "
+                        f"path=vectorized-unbatched "
+                        f"maintenance={maint_primary} shards={shards} ...",
+                        file=sys.stderr, flush=True,
+                    )
+                    unb_cell = run_cell(
+                        n_dev, n_jobs, horizon, args.seed, args.policy,
+                        True, maint_primary, repeats=args.repeats,
+                        num_shards=shards, vectorized=True, batched=False,
+                    )
+                    cells.append(unb_cell)
+                    identical = (
+                        unb_cell["decision_hash"] == vec_cell["decision_hash"]
+                        and unb_cell["metrics_hash"] == vec_cell["metrics_hash"]
+                        and unb_cell["events"] == vec_cell["events"]
+                    )
+                    if not identical:
+                        # Fatal: the batched decision path promises
+                        # bit-identical decisions AND metrics to per-device
+                        # consults.
+                        decision_mismatch = True
+                        print(
+                            f"[cell] devices={n_dev} jobs={n_jobs} "
+                            f"ASSIGN-BATCH IDENTITY DIVERGENCE at "
+                            f"num_shards={shards}: decisions "
+                            f"{unb_cell['decision_hash'][:12]} vs "
+                            f"{vec_cell['decision_hash'][:12]}, metrics "
+                            f"{unb_cell['metrics_hash'][:12]} vs "
+                            f"{vec_cell['metrics_hash'][:12]}, events "
+                            f"{unb_cell['events']} vs {vec_cell['events']}",
+                            file=sys.stderr, flush=True,
+                        )
+                        _print_divergence(
+                            unb_cell, vec_cell,
+                            label_a="unbatched", label_b="batched",
+                        )
+                    ratio = (
+                        vec_cell["events_per_sec"]
+                        / max(unb_cell["events_per_sec"], 1e-9)
+                    )
+                    print(
+                        f"[cell] devices={n_dev} jobs={n_jobs} "
+                        f"batched/unbatched(shards={shards}) = {ratio:.2f}x, "
+                        f"identical: {identical}",
+                        file=sys.stderr, flush=True,
+                    )
+                    cells.append({
+                        "devices": n_dev, "jobs": n_jobs,
+                        "summary": "assign-batch", "num_shards": shards,
+                        "events_per_sec_ratio": round(ratio, 3),
+                        "decisions_identical": identical,
+                    })
+
+            if args.decision_profile:
+                print(
+                    f"[cell] devices={n_dev} jobs={n_jobs} "
+                    f"path=decision-profile maintenance={maint_primary} "
+                    f"shards=1 ...",
+                    file=sys.stderr, flush=True,
+                )
+                prof_cell = run_cell(
+                    n_dev, n_jobs, horizon, args.seed, args.policy,
+                    True, maint_primary, repeats=args.repeats,
+                    num_shards=1, vectorized=True, profile_decisions=True,
+                )
+                cells.append(prof_cell)
+                breakdown = prof_cell.get("decision_profile", {})
+                print(
+                    f"[cell]   decision phases: "
+                    f"lookup {breakdown.get('candidate_lookup_s', 0.0):.3f}s "
+                    f"admission {breakdown.get('admission_s', 0.0):.3f}s "
+                    f"bookkeeping {breakdown.get('bookkeeping_s', 0.0):.3f}s "
+                    f"outcome-sampling "
+                    f"{breakdown.get('outcome_sampling_s', 0.0):.3f}s over "
+                    f"{breakdown.get('batch_devices', 0)} batched consults",
+                    file=sys.stderr, flush=True,
+                )
 
             if args.checkpoint_compare and base_cell is not None:
                 print(
@@ -772,9 +964,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if decision_mismatch:
         print("FAIL: a decision-identity contract was violated (incremental "
-              "vs full plan maintenance, sharded vs single-queue engine, or "
-              "vectorized vs scalar hot path — see SHARD IDENTITY / "
-              "MAINTENANCE DECISION / VECTORIZED IDENTITY lines above)",
+              "vs full plan maintenance, sharded vs single-queue engine, "
+              "vectorized vs scalar hot path, or batched vs per-device "
+              "decisions — see SHARD IDENTITY / MAINTENANCE DECISION / "
+              "VECTORIZED IDENTITY / ASSIGN-BATCH IDENTITY lines above)",
               file=sys.stderr)
         return 2
     if args.check_baseline:
@@ -804,7 +997,12 @@ def check_baseline(
                 cell.get("plan_maintenance"), cell.get("num_shards", 1))
 
     base_cells = {
-        key(c): c for c in baseline.get("cells", []) if "summary" not in c
+        key(c): c
+        for c in baseline.get("cells", [])
+        if "summary" not in c and c.get("checkpoint_interval") is None
+        # The checkpointed twin shares its key with the primary cell; if it
+        # lands later in the artifact it would overwrite the primary's
+        # throughput and silently lower the floor.
     }
     failures: List[str] = []
     compared = 0

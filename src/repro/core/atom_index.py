@@ -28,6 +28,15 @@ re-flattens only the signatures whose candidate tuples actually changed
 ``epoch``, so a trigger that touches one group re-flattens a handful of
 atoms instead of rebuilding the whole index.
 
+``epoch`` is also a published invalidation key: the scheduler's live-
+candidate memo (the batched decision path's
+``(plan_version, epoch) -> candidates`` cache,
+:meth:`repro.core.scheduler.VennScheduler._live_candidates`) relies on
+every content-changing :meth:`patch` bumping it.  A patch that mutated
+candidates without bumping ``epoch`` would serve stale candidate lists to
+whole signature cohorts, so the bump is part of the method's contract,
+not an implementation detail.
+
 A crucial guarantee the index preserves: every candidate group key it yields
 for a signature is *contained in* that signature, so a device is eligible
 for every candidate job by construction and the check-in path may skip the

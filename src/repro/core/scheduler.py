@@ -184,6 +184,28 @@ class VennScheduler(SeededRngMixin, BasePolicy):
         #: records the assignment), so refreshing only these jobs is exact
         #: — and O(changed) instead of O(all jobs) per refresh.
         self._demand_dirty: set = set()
+        #: signature -> pruned live-candidate entries for the *current*
+        #: decision surface, valid for exactly one ``(plan_version,
+        #: index.epoch)`` generation (see :meth:`_live_candidates`).
+        self._live_memo: Dict = {}
+        self._live_memo_key = (-1, -1)
+        #: Cached :meth:`plan_snapshot` payload + the generation it
+        #: serialises (``(plan_version, plan_dirty)``).
+        self._snapshot_cache: Optional[Dict[str, object]] = None
+        self._snapshot_key = (-1, True)
+        #: When ``True`` the batched decision path accumulates a per-phase
+        #: wall-time breakdown into :attr:`decision_profile` (candidate
+        #: lookup / admission walk / commit bookkeeping).  Off by default:
+        #: the clock reads are per device, so profiling is opt-in
+        #: (``bench_scalability.py --decision-profile``).
+        self.profile_decisions = False
+        self.decision_profile: Dict[str, float] = {
+            "candidate_lookup_s": 0.0,
+            "admission_s": 0.0,
+            "bookkeeping_s": 0.0,
+            "batch_devices": 0,
+            "batch_proposals": 0,
+        }
         # Derive the ablation-aware display name.
         if not self.enable_scheduling and self.enable_matching:
             self.name = "venn_wo_sched"
@@ -595,14 +617,28 @@ class VennScheduler(SeededRngMixin, BasePolicy):
         payload a process-resident shard would receive on a version bump
         (and what tests/tools use to compare plans across engines without
         reaching into internals).
+
+        The payload is cached per ``(plan_version, dirty)`` generation: the
+        plan is only ever mutated inside :meth:`refresh_plan` /
+        :meth:`rebuild_plan`, which bump :attr:`plan_version`, so an
+        unchanged generation serialises to an unchanged snapshot and
+        repeated broadcasts of the same plan reuse one payload.  Callers
+        must treat the returned dict as read-only.
         """
+        key = (self.plan_version, self._plan_dirty)
+        cached = self._snapshot_cache
+        if cached is not None and self._snapshot_key == key:
+            return cached
         plan = self._plan
-        return {
+        snapshot: Dict[str, object] = {
             "version": self.plan_version,
             "dirty": self._plan_dirty,
             "group_order": list(plan.group_order),
             "job_order": {k: list(v) for k, v in sorted(plan.job_order.items())},
         }
+        self._snapshot_cache = snapshot
+        self._snapshot_key = key
+        return snapshot
 
     # ------------------------------------------------------------------ #
     # Assignment
@@ -619,6 +655,83 @@ class VennScheduler(SeededRngMixin, BasePolicy):
         self._tier_decisions[request.request_id] = decision
         return decision
 
+    def _live_candidates(self, signature) -> list:
+        """Pruned candidate entries for ``signature`` on the current plan.
+
+        The :class:`~repro.core.atom_index.AtomIndex` candidate tuple is a
+        *static* flattening of the plan — it still lists jobs whose request
+        closed or whose demand is already satisfied, and the scalar walk
+        re-discovers that per check-in.  This memo resolves each signature
+        once per ``(plan_version, index.epoch)`` generation to the entries
+        that can still matter: ``(job_id, request)`` for candidates whose
+        request is open with unmet demand at resolution time.
+
+        Pruning is exact for the whole generation: demand never *rises*
+        and a closed request never reopens without a lifecycle trigger,
+        every lifecycle trigger marks the plan dirty, and every consult
+        refreshes a dirty plan (bumping ``plan_version``) before touching
+        the memo — so a pruned candidate is one the scalar walk would have
+        skipped at every remaining consult of this generation.  Entries
+        that die *mid-generation* (demand satisfied by a commit) stay in
+        the list and are re-checked per device, exactly like the scalar
+        walk.  Tier decisions resolve through :meth:`_tier_decision_for`
+        at the same walk positions as the scalar path, so the matcher's
+        rng draw order is untouched.
+        """
+        index = self._plan._index
+        if index is None:
+            index = self._plan.index()
+            self.plan_profile.index_rebuilds += 1
+        key = (self.plan_version, index.epoch)
+        if key != self._live_memo_key:
+            self._live_memo_key = key
+            self._live_memo = {}
+        memo = self._live_memo
+        live = memo.get(signature)
+        if live is None:
+            open_requests = self.open_requests
+            live = []
+            for _group_key, job_id in index.candidates(signature):
+                request = open_requests.get(job_id)
+                if (
+                    request is not None
+                    and request.is_open
+                    and request.remaining_demand > 0
+                ):
+                    live.append((job_id, request))
+            memo[signature] = live
+        return live
+
+    def _match_device(self, device: DeviceProfile, live: list):
+        """Walk pruned live candidates exactly like the scalar oracle walk:
+        first open request with unmet demand that the device is not already
+        serving and whose tier accepts it wins; the first tier-restricted
+        request is remembered as the fallback."""
+        fallback: Optional[ResourceRequest] = None
+        fallback_job = -1
+        device_id = device.device_id
+        for job_id, request in live:
+            if request.remaining_demand <= 0 or not request.is_open:
+                continue
+            if device_id in request.assigned_ids:
+                # One device participates at most once per round request.
+                continue
+            decision = self._tier_decision_for(request)
+            if decision is NO_TIER or decision.accepts(device):
+                # The engine records the assignment right after this return,
+                # changing the job's remaining demand: mark it so the next
+                # incremental refresh re-derives exactly this job's inputs.
+                self._demand_dirty.add(job_id)
+                return request
+            if fallback is None:
+                # Remember the first tier-restricted request so the device is
+                # not wasted when no later job in the order can use it.
+                fallback = request
+                fallback_job = job_id
+        if fallback is not None:
+            self._demand_dirty.add(fallback_job)
+        return fallback
+
     def assign(
         self, device: DeviceProfile, now: float
     ) -> Optional[ResourceRequest]:
@@ -631,14 +744,10 @@ class VennScheduler(SeededRngMixin, BasePolicy):
             # Indexed fast path: the precomputed candidate tuple only lists
             # groups contained in the signature, so every candidate job is
             # eligible by construction and no per-job requirement re-check
-            # is needed.
-            index = self._plan._index
-            if index is None:
-                index = self._plan.index()
-                self.plan_profile.index_rebuilds += 1
-            candidates = index.candidates(signature)
-        else:
-            candidates = self._plan.ordered_jobs_for(signature)
+            # is needed; the per-generation memo additionally drops
+            # candidates that are provably dead for the current plan.
+            return self._match_device(device, self._live_candidates(signature))
+        candidates = self._plan.ordered_jobs_for(signature)
         fallback: Optional[ResourceRequest] = None
         device_id = device.device_id
         for _group_key, job_id in candidates:
@@ -648,24 +757,178 @@ class VennScheduler(SeededRngMixin, BasePolicy):
             if request.is_assigned(device_id):
                 # One device participates at most once per round request.
                 continue
-            if not self.use_index:
-                job = self.jobs.get(job_id)
-                if job is None or not job.requirement.is_eligible(device):
-                    continue
+            job = self.jobs.get(job_id)
+            if job is None or not job.requirement.is_eligible(device):
+                continue
             decision = self._tier_decision_for(request)
             if decision.accepts(device):
-                # The engine records the assignment right after this return,
-                # changing the job's remaining demand: mark it so the next
-                # incremental refresh re-derives exactly this job's inputs.
                 self._demand_dirty.add(job_id)
                 return request
             if fallback is None:
-                # Remember the first tier-restricted request so the device is
-                # not wasted when no later job in the order can use it.
                 fallback = request
         if fallback is not None:
             self._demand_dirty.add(fallback.job_id)
         return fallback
+
+    def assign_batch(self, devices, now: float, commit) -> None:
+        """Batched decision path: one plan refresh and one signature →
+        candidate resolution per *interned signature*, not per device.
+
+        Decision-identical to the scalar oracle by construction: devices
+        are walked in offer order over the same (memoised, pruned)
+        candidate entries the scalar :meth:`assign` walk would visit, tier
+        decisions resolve lazily at the same walk positions (identical rng
+        draw order), and ``commit`` performs the engine's demand
+        bookkeeping between consecutive devices exactly like the per-event
+        loop.  The plan refresh can only trigger before the first device —
+        assignments never dirty the plan mid-cohort — so hoisting it out
+        of the loop is exact.
+        """
+        if not self.open_requests:
+            return
+        if self._plan_dirty:
+            self.refresh_plan(now)
+        if not self.use_index:
+            # Legacy-scan mode keeps the per-device oracle walk (the scan
+            # path exists for apples-to-apples benchmarking only).
+            for i, device in enumerate(devices):
+                request = self.assign(device, now)
+                if request is not None and not commit(i, request):
+                    return
+            return
+        if self.profile_decisions:
+            return self._assign_batch_profiled(devices, commit)
+        signature_for = self._signature_for
+        live_for = self._live_candidates
+        match = self._match_device
+        for i, device in enumerate(devices):
+            request = match(device, live_for(signature_for(device)))
+            if request is not None and not commit(i, request):
+                return
+
+    def assign_batch_bulk(self, devices, now: float):
+        """Ledger-mode batched decisions: resolve a cohort prefix at once.
+
+        Returns ``(consumed, proposals)`` where ``proposals`` is
+        ``[(i, request), ...]`` — the proposal for ``devices[i]`` for
+        every consulted device that matched — and ``consumed`` is how
+        many devices were consulted, without any engine bookkeeping
+        between decisions.  Demand coupling (an early device's assignment
+        consuming demand a later device would have competed for) is
+        replayed through a cohort-local ledger: each probe reads
+        ``remaining_demand`` minus the proposals already made in this
+        cohort, which is exactly the value the scalar oracle would observe
+        after the engine committed those proposals.  Every other input the
+        scalar walk reads (``is_open``, ``assigned_ids``, tier decisions)
+        cannot change mid-cohort, and tier resolution still happens
+        lazily at the same walk positions (identical rng draw order), so
+        the proposal sequence is bit-identical to consult-commit-consult.
+
+        The walk stops as soon as a proposal zeroes a request's ledger
+        demand: the per-event loop removes the job from the pending pool
+        at that commit, which can narrow the pending-requirement set and
+        drop whole signatures from the remainder of the sweep.  Stopping
+        there and letting the caller commit, re-filter and resume from
+        ``devices[consumed:]`` reproduces the scalar sweep's per-consult
+        narrowing check exactly — and is what keeps a sweep from walking
+        thousands of no-longer-eligible devices after its last fillable
+        request closes.
+
+        The caller must commit every returned proposal at ``now`` before
+        the next consult (see the engine's ``_commit_cohort_vec``).  Only
+        the indexed path supports ledger mode; callers fall back to
+        :meth:`assign_batch` otherwise.
+
+        Signatures whose entire candidate list shows zero ledger demand
+        are marked dead for the rest of the cohort: ledger demand is
+        monotone non-increasing and ``is_open`` static within a call, so
+        a later same-signature device could only repeat the fruitless
+        walk — no rng draws, no proposals — and skipping it outright is
+        decision-identical while turning a demand-exhausted stretch of
+        the cohort from O(devices x candidates) into two dict probes
+        each.
+        """
+        proposals: list = []
+        if not self.open_requests:
+            return 0, proposals
+        if self._plan_dirty:
+            self.refresh_plan(now)
+        signature_for = self._signature_for
+        live_for = self._live_candidates
+        tier_for = self._tier_decision_for
+        demand_dirty = self._demand_dirty
+        #: request_id -> demand remaining after this cohort's proposals.
+        avail: Dict[int, int] = {}
+        avail_get = avail.get
+        #: Signatures proven demand-dead for the rest of this cohort.
+        dead: set = set()
+        for i, device in enumerate(devices):
+            signature = signature_for(device)
+            if signature in dead:
+                continue
+            live = live_for(signature)
+            if not live:
+                dead.add(signature)
+                continue
+            device_id = device.device_id
+            fallback = None
+            fallback_job = -1
+            fallback_rid = -1
+            any_live = False
+            for job_id, request in live:
+                rid = request.request_id
+                d = avail_get(rid)
+                if d is None:
+                    d = request.remaining_demand
+                if d <= 0 or not request.is_open:
+                    continue
+                any_live = True
+                if device_id in request.assigned_ids:
+                    continue
+                decision = tier_for(request)
+                if decision is NO_TIER or decision.accepts(device):
+                    avail[rid] = d - 1
+                    demand_dirty.add(job_id)
+                    proposals.append((i, request))
+                    if d == 1:
+                        return i + 1, proposals
+                    break
+                if fallback is None:
+                    fallback = request
+                    fallback_job = job_id
+                    fallback_rid = rid
+            else:
+                if fallback is not None:
+                    d = avail_get(fallback_rid, fallback.remaining_demand) - 1
+                    avail[fallback_rid] = d
+                    demand_dirty.add(fallback_job)
+                    proposals.append((i, fallback))
+                    if d == 0:
+                        return i + 1, proposals
+                elif not any_live:
+                    dead.add(signature)
+        return len(devices), proposals
+
+    def _assign_batch_profiled(self, devices, commit) -> None:
+        """Instrumented twin of the batched walk (same decisions, plus a
+        per-phase wall-time breakdown into :attr:`decision_profile`)."""
+        profile = self.decision_profile
+        clock = time.perf_counter
+        for i, device in enumerate(devices):
+            t0 = clock()
+            live = self._live_candidates(self._signature_for(device))
+            t1 = clock()
+            request = self._match_device(device, live)
+            t2 = clock()
+            profile["candidate_lookup_s"] += t1 - t0
+            profile["admission_s"] += t2 - t1
+            profile["batch_devices"] += 1
+            if request is not None:
+                profile["batch_proposals"] += 1
+                more = commit(i, request)
+                profile["bookkeeping_s"] += clock() - t2
+                if not more:
+                    return
 
 
 __all__ = ["VennScheduler"]

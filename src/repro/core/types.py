@@ -231,6 +231,36 @@ class ResourceRequest:
             self.state = RequestState.COLLECTING
             self.acquired_time = now
 
+    def record_assignments_bulk(self, device_ids: list, now: float) -> None:
+        """Bulk twin of :meth:`record_assignment` for a same-time cohort.
+
+        State-identical to calling :meth:`record_assignment` once per id in
+        order (the batched decision path commits whole cohorts at one
+        timestamp).  The same invariants are enforced, just once per batch
+        instead of once per device: the request must be open, the batch
+        must fit the remaining demand, and no id may already be assigned
+        (ids within the batch are unique by construction — one device
+        checks in at most once per dispatch cohort).
+        """
+        if not self.is_open:
+            raise ValueError(f"cannot assign to a {self.state.value} request")
+        if len(device_ids) > self.remaining_demand:
+            raise ValueError("request demand already satisfied")
+        assigned_ids = self.assigned_ids
+        for device_id in device_ids:
+            if device_id in assigned_ids:
+                raise ValueError(
+                    f"device {device_id} is already assigned to this request"
+                )
+        self.assigned.extend(device_ids)
+        for device_id in device_ids:
+            assigned_ids[device_id] = now
+        self.assigned_times.extend([now] * len(device_ids))
+        self.remaining_demand = max(0, self.demand - len(self.assigned))
+        if self.remaining_demand == 0:
+            self.state = RequestState.COLLECTING
+            self.acquired_time = now
+
     def record_response(self, device_id: int, now: float) -> None:
         """Record a successful device report at time ``now``."""
         if device_id not in self.assigned_ids:

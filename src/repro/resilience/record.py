@@ -84,6 +84,10 @@ class RecordingPolicy:
         self._inner = inner
         self.name = getattr(inner, "name", type(inner).__name__)
         self.decisions: List[DecisionRecord] = []
+        if not hasattr(inner, "assign_batch_bulk"):
+            # Don't advertise the ledger path for policies without it —
+            # the engine probes with getattr and must fall back cleanly.
+            self.assign_batch_bulk = None
 
     def assign(self, device, now):
         out = self._inner.assign(device, now)
@@ -91,9 +95,42 @@ class RecordingPolicy:
             self.decisions.append((now, device.device_id, out.job_id))
         return out
 
+    def assign_batch(self, devices, now, commit):
+        # Explicit wrappers for the batched decision paths: ``__getattr__``
+        # delegation would resolve them on the inner policy directly and
+        # batched proposals would never reach the decision record.  The
+        # commit protocol records from inside the callback (proposals are
+        # logged in offer order, like the scalar path's append-per-assign);
+        # the ledger protocol records from the returned proposal list.
+        decisions = self.decisions
+
+        def recording_commit(i, request):
+            decisions.append((now, devices[i].device_id, request.job_id))
+            return commit(i, request)
+
+        return self._inner.assign_batch(devices, now, recording_commit)
+
+    def assign_batch_bulk(self, devices, now):
+        consumed, proposals = self._inner.assign_batch_bulk(devices, now)
+        decisions = self.decisions
+        for i, request in proposals:
+            decisions.append((now, devices[i].device_id, request.job_id))
+        return consumed, proposals
+
     @property
     def decision_hash(self) -> str:
         return decision_hash(self.decisions)
+
+    @property
+    def profile_decisions(self):
+        return getattr(self._inner, "profile_decisions", False)
+
+    @profile_decisions.setter
+    def profile_decisions(self, value):
+        # The engine flips this flag on the policy it was handed; plain
+        # attribute assignment would land in the wrapper's instance dict
+        # and the inner policy would keep profiling disabled.
+        self._inner.profile_decisions = value
 
     def __getattr__(self, item):
         # Guarded forwarding: during unpickling the instance dict is empty

@@ -89,6 +89,14 @@ class PendingRequestPool:
         """Requirement names with at least one unsatisfied request."""
         return set(self._req_counts)
 
+    def pending_jobs(self):
+        """Job ids with open, unsatisfied requests (iteration view).
+
+        Used by the batched dispatch path to size decision cohorts against
+        the actual remaining demand instead of a fixed chunk width.
+        """
+        return self._jobs.keys()
+
 
 class IdleDevicePool:
     """Idle devices bucketed by atom signature for targeted dispatch.

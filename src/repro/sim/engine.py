@@ -198,6 +198,20 @@ class SimulationConfig:
     #: ``None`` (the default) is a strict no-op — pristine runs replay the
     #: historical event and draw sequences exactly.
     fault_plan: Optional[FaultPlan] = None
+    #: Batched decision path: hand same-time device cohorts to the policy's
+    #: ``assign_batch`` in chunks instead of one ``assign`` per device.
+    #: Decisions and metrics are **bit-identical** either way (the scalar
+    #: consult is the oracle; enforced by the differential suite and the
+    #: benchmark's ``--assign-batch-compare`` gate).  Only the vectorized
+    #: engine consults it; scalar/sharded runs always use per-device
+    #: consults.
+    batched_assign: bool = True
+    #: Record a per-phase wall-time breakdown of the batched decision path
+    #: (candidate lookup / admission / bookkeeping on the policy, outcome
+    #: sampling on the engine).  Adds clock reads to the hot loop — leave
+    #: off except when profiling (``bench_scalability.py
+    #: --decision-profile``).
+    profile_decisions: bool = False
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -245,6 +259,36 @@ class SimulationConfig:
 #: injector (so unfired faults replay deterministically) unless the caller
 #: explicitly passes a replacement plan — including ``None`` to clear it.
 _KEEP_FAULTS = object()
+
+
+class _CohortView:
+    """Lazy device-profile cohort for the ledger-mode decision path.
+
+    ``assign_batch_bulk`` consults a cohort prefix and stops at the first
+    demand-zeroing proposal, so eagerly materialising a profile list for
+    the whole chunk wastes work proportional to the unconsulted tail —
+    which at 100k-device scale is most of the chunk.  This view fetches
+    ``profiles[slots[i]]`` on demand: sequential iteration (the bulk
+    walk) and random indexing (commit, recording wrappers) both work,
+    and the unvisited tail costs nothing.
+    """
+
+    __slots__ = ("_profiles", "_slots")
+
+    def __init__(self, profiles, slots) -> None:
+        self._profiles = profiles
+        self._slots = slots
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self):
+        profiles = self._profiles
+        for slot in self._slots:
+            yield profiles[slot]
+
+    def __getitem__(self, i):
+        return self._profiles[self._slots[i]]
 
 
 class Simulator:
@@ -348,6 +392,28 @@ class Simulator:
         #: was last cached (assignment messages land mid-decision).
         self._dirty_shards: set = set()
         self._policy_has_plan_version = hasattr(policy, "plan_version")
+        #: Batched decision path (vectorized engine only): dispatch sweeps
+        #: hand same-time cohorts to ``policy.assign_batch`` in chunks.
+        self._batched_assign = bool(self.config.batched_assign)
+        #: Ledger-mode fast path: policies exposing ``assign_batch_bulk``
+        #: (Venn on the indexed path) resolve a whole cohort in one call
+        #: and the engine commits the proposals in bulk.  Falls back to the
+        #: commit-callback protocol for every other policy, for the legacy
+        #: scan path, and under ``profile_decisions`` (the instrumented
+        #: path has the per-phase timers).
+        self._policy_bulk_assign = (
+            getattr(policy, "assign_batch_bulk", None)
+            if self._batched_assign
+            and not self.config.profile_decisions
+            and getattr(policy, "use_index", True)
+            else None
+        )
+        self._profile_decisions = bool(self.config.profile_decisions)
+        if self._profile_decisions and hasattr(policy, "profile_decisions"):
+            policy.profile_decisions = True
+        #: Engine-side share of the decision profile: wall time spent in
+        #: batched outcome draws (``--decision-profile``).
+        self.outcome_sampling_s = 0.0
         # The engine's own signature space: the workload's full requirement
         # set is known up front, so each device's eligibility signature is
         # computed once (lazily, at first check-in) and cached forever.
@@ -1254,15 +1320,23 @@ class Simulator:
         and validity checks, state transition on the arrays, and the latency
         draw deferred to :meth:`_flush_assignments` (the response's sequence
         number and plan version are claimed here, in decision order)."""
-        vec = self._vec
-        profile = vec.profiles[slot]
+        profile = self._vec.profiles[slot]
         request = self.policy.assign(profile, self.now)
-        if request is None:
-            return
+        if request is not None:
+            self._commit_assign_vec(slot, profile, request)
+
+    def _commit_assign_vec(self, slot: int, profile, request) -> bool:
+        """Record one policy proposal on the array state (the ``commit``
+        callback of the batched decision path — also the tail of the scalar
+        consult).  Validation, demand bookkeeping and the response-sequence
+        claim are exactly the scalar path's, so a batch of commits in offer
+        order is state-identical to per-device consults.  Returns whether
+        any request still has unmet demand — ``False`` tells the policy the
+        per-device engine loop would have stopped offering devices."""
         if not request.is_open or request.remaining_demand <= 0:
-            return
+            return bool(self._pending)
         if request.is_assigned(profile.device_id):
-            return
+            return bool(self._pending)
         job = self.jobs.get(request.job_id)
         if job is None:
             raise ValueError(
@@ -1277,6 +1351,7 @@ class Simulator:
         request.record_assignment(profile.device_id, self.now)
         if request.remaining_demand == 0:
             self._pending.remove(request.job_id)
+        vec = self._vec
         vec.status[slot] = STATUS_BUSY
         vec.last_day[slot] = int(self.now // SECONDS_PER_DAY)
         self._assign_buf.append(
@@ -1294,6 +1369,7 @@ class Simulator:
                 ),
             )
         )
+        return bool(self._pending)
 
     def _flush_assignments(self) -> None:
         """Draw outcomes for the buffered assignments and queue responses.
@@ -1312,6 +1388,7 @@ class Simulator:
         shards = self._shards
         num_shards = self._num_shards
         dirty = self._dirty_shards
+        t0 = time.perf_counter() if self._profile_decisions else 0.0
         if len(buf) == 1:
             # Size-1 flushes dominate contended workloads; the batch kernel
             # already falls back to a per-element loop there, so skip its
@@ -1326,6 +1403,8 @@ class Simulator:
                 [entry[1] for entry in buf],
                 now=now,
             )
+        if self._profile_decisions:
+            self.outcome_sampling_s += time.perf_counter() - t0
         for (slot, profile, job, request, seq, send, pv), (
             duration,
             dropped,
@@ -1348,6 +1427,11 @@ class Simulator:
             )
             dirty.add(shard_index)
 
+    #: Cohort chunk size for the batched dispatch sweep: bounds the
+    #: profile-list build between re-filters so a sweep that stops early
+    #: (demand exhausted) never materialises the whole idle queue.
+    _DISPATCH_CHUNK = 1024
+
     def _dispatch_idle_devices_vec(self) -> None:
         """Mask-based twin of the idle-pool dispatch sweep.
 
@@ -1356,6 +1440,15 @@ class Simulator:
         devices the scalar bucket walk visits, in the same ascending
         device-id order (slots are id-ranked); the pending-name narrowing
         on ``names_version`` changes mirrors the bucket re-filter.
+
+        Large cohorts go through the policy's batched decision path
+        (``assign_batch`` with :meth:`_commit_assign_vec` as the commit
+        callback): one plan refresh and one candidate resolution per
+        interned signature instead of per device, decisions bit-identical
+        to per-device consults (the differential suite and the benchmark's
+        ``--assign-batch-compare`` gate hold the line).  Cohorts up to
+        ``_DRAIN_SCALAR_MAX`` stay on the scalar consult loop, where the
+        batch plumbing costs more than it saves.
         """
         pending = self._pending
         vec = self._vec
@@ -1376,6 +1469,10 @@ class Simulator:
             keep &= elig[sig_id[idle]]
             idle = idle[keep]
         queue = idle
+        if self._batched_assign and queue.size > self._DRAIN_SCALAR_MAX:
+            self._dispatch_cohort_batched(queue, version)
+            self._flush_assignments()
+            return
         qlist = queue.tolist()
         i = 0
         n = len(qlist)
@@ -1401,6 +1498,149 @@ class Simulator:
                 continue
             self._try_assign_vec(slot)
         self._flush_assignments()
+
+    def _dispatch_cohort_batched(self, queue, version: int) -> None:
+        """Drive one dispatch sweep through ``policy.assign_batch``.
+
+        The cohort is the already-filtered idle queue in ascending slot
+        (= device-id) order — exactly the scalar sweep's offer order.  It
+        is fed to the policy one chunk at a time.  The scalar sweep
+        re-checks ``names_version`` before *every* consult; the batch gets
+        the same semantics by construction: the name set can only narrow
+        as the result of a commit (a job's demand emptying), so the commit
+        callback detects the change at the very commit that caused it,
+        stops the batch (``False``) and records where to resume — the
+        unvisited remainder is then re-filtered in one array op before the
+        next chunk, and no device the scalar re-filter would have dropped
+        is ever consulted.  Buffered proposals are flushed once by the
+        caller: responses only land on shard heaps and never influence a
+        decision within the sweep.
+        """
+        pending = self._pending
+        vec = self._vec
+        profiles = vec.profiles
+        sig_id = vec.sig_id
+        now = self.now
+        bulk = self._policy_bulk_assign
+        assign_batch = self.policy.assign_batch
+        commit_one = self._commit_assign_vec
+        # ``state[0]``: resume offset within the current chunk when the
+        # batch stopped on a names_version narrowing (−1 = ran to the end
+        # or stopped because demand emptied entirely).
+        state = [-1]
+        i = 0
+        n = queue.size
+        while i < n and pending:
+            if pending.names_version != version:
+                version = pending.names_version
+                elig = vec.sig_eligibility(pending.pending_requirements())
+                queue = queue[i:]
+                queue = queue[elig[sig_id[queue]]]
+                n = queue.size
+                i = 0
+                continue
+            if bulk is not None:
+                # Ledger mode stops itself at the first demand-zeroing
+                # proposal and the cohort view materialises profiles on
+                # demand, so chunks can be generous — the consulted
+                # prefix, not the chunk width, bounds the work.
+                chunk = queue[i : i + min(n - i, 8192)].tolist()
+                cohort = _CohortView(profiles, chunk)
+                consumed, proposals = bulk(cohort, now)
+                if proposals:
+                    self._commit_cohort_vec(chunk, cohort, proposals)
+                if consumed == 0:
+                    # No open requests on the policy side (a consumed
+                    # cohort always advances): nothing left to offer.
+                    break
+                i += consumed
+                continue
+            # Commit-callback mode walks the whole chunk unless a commit
+            # stops it, so size the cohort against the demand actually
+            # outstanding: a sweep stops once demand fills, and nearly
+            # every consult of a pre-filtered queue produces a proposal,
+            # so building profile lists much past the remaining demand is
+            # pure waste.
+            est = self._pending_demand_estimate()
+            chunk_size = min(n - i, max(64, min(est + (est >> 3), 8192)))
+            chunk = queue[i : i + chunk_size].tolist()
+            cohort = [profiles[slot] for slot in chunk]
+            state[0] = -1
+
+            def commit(j, request, _chunk=chunk, _cohort=cohort):
+                if not commit_one(_chunk[j], _cohort[j], request):
+                    return False
+                if pending.names_version != version:
+                    state[0] = j + 1
+                    return False
+                return True
+
+            assign_batch(cohort, now, commit)
+            if state[0] >= 0:
+                i += state[0]
+            else:
+                i += len(chunk)
+
+    def _pending_demand_estimate(self) -> int:
+        """Total unmet demand across jobs with open requests (O(#pending))."""
+        jobs = self.jobs
+        total = 0
+        for job_id in self._pending.pending_jobs():
+            job = jobs.get(job_id)
+            if job is not None and job.open_request is not None:
+                total += job.open_request.remaining_demand
+        return total
+
+    def _commit_cohort_vec(self, slots, cohort, proposals) -> None:
+        """Bulk twin of per-proposal :meth:`_commit_assign_vec`.
+
+        ``proposals`` is the ledger-validated output of
+        ``assign_batch_bulk`` — every request is open with enough demand
+        for its share of the cohort and no device repeats, so the scalar
+        commit's silently-skip guards cannot fire, and candidates from the
+        indexed plan are eligible by construction (signature containment),
+        so the per-proposal eligibility re-check is redundant.  Response
+        sequence numbers are claimed per proposal in offer order; demand
+        bookkeeping is applied per request in bulk.  State after this call
+        is identical to having interleaved :meth:`_commit_assign_vec` with
+        the consults.
+        """
+        vec = self._vec
+        status = vec.status
+        last_day = vec.last_day
+        sess = vec.sess
+        buf = self._assign_buf
+        next_seq = self.queue.next_seq
+        now = self.now
+        day = int(now // SECONDS_PER_DAY)
+        pv = self.policy.plan_version if self._policy_has_plan_version else None
+        jobs = self.jobs
+        pending = self._pending
+        #: request_id -> (request, job, [device_ids]) accumulated in order.
+        grouped: dict = {}
+        for i, request in proposals:
+            slot = slots[i]
+            profile = cohort[i]
+            entry = grouped.get(request.request_id)
+            if entry is None:
+                job = jobs.get(request.job_id)
+                if job is None:
+                    raise ValueError(
+                        f"policy assigned device {profile.device_id} to "
+                        f"unknown job {request.job_id}"
+                    )
+                grouped[request.request_id] = entry = (request, job, [])
+            entry[2].append(profile.device_id)
+            status[slot] = STATUS_BUSY
+            last_day[slot] = day
+            buf.append(
+                (slot, profile, entry[1], request, next_seq(),
+                 float(sess[slot]), pv)
+            )
+        for request, job, device_ids in grouped.values():
+            request.record_assignments_bulk(device_ids, now)
+            if request.remaining_demand == 0:
+                pending.remove(request.job_id)
 
     def _sync_vector_state(self) -> None:
         """Copy the final array state back onto the DeviceRuntime objects.

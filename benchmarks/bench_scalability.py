@@ -273,6 +273,7 @@ def run_cell(
     vectorized: bool = False,
     checkpoint_interval: Optional[int] = None,
     batched: bool = True,
+    batched_response: bool = True,
     profile_decisions: bool = False,
 ) -> Dict:
     """Run one cell ``repeats`` times and keep the fastest run.
@@ -287,7 +288,7 @@ def run_cell(
         cell = _run_cell_once(
             num_devices, num_jobs, horizon, seed, policy_name, indexed,
             maintenance, num_shards, vectorized, checkpoint_interval,
-            batched, profile_decisions,
+            batched, batched_response, profile_decisions,
         )
         if best is not None and cell["decision_hash"] != best["decision_hash"]:
             raise AssertionError(
@@ -311,6 +312,7 @@ def _run_cell_once(
     vectorized: bool = False,
     checkpoint_interval: Optional[int] = None,
     batched: bool = True,
+    batched_response: bool = True,
     profile_decisions: bool = False,
 ) -> Dict:
     devices, trace, workload = build_cell(num_devices, num_jobs, horizon, seed)
@@ -329,6 +331,7 @@ def _run_cell_once(
         vectorized_dispatch=vectorized,
         checkpoint_interval=checkpoint_interval,
         batched_assign=batched,
+        batched_response=batched_response,
         profile_decisions=profile_decisions,
     )
     sim = Simulator(devices, trace, workload, policy, config)
@@ -340,6 +343,8 @@ def _run_cell_once(
         path = "decision-profile"
     elif vectorized and not batched:
         path = "vectorized-unbatched"
+    elif vectorized and not batched_response:
+        path = "vectorized-response-scalar"
     elif vectorized:
         path = "vectorized"
     elif num_shards > 1:
@@ -384,6 +389,9 @@ def _run_cell_once(
         cell["batch_devices"] = policy.batch_devices
         cell["batch_proposals"] = policy.batch_proposals
         cell["batch_assign_s"] = round(policy.batch_assign_s, 4)
+        cell["batched_response"] = batched_response
+        cell["response_cohorts"] = sim.response_cohorts
+        cell["response_batched_events"] = sim.response_batched_events
     if profile_decisions:
         # Per-phase wall-time breakdown of the batched decision path: the
         # policy accounts candidate lookup / admission / bookkeeping, the
@@ -394,6 +402,11 @@ def _run_cell_once(
             if isinstance(value, float):
                 breakdown[key_] = round(value, 4)
         breakdown["outcome_sampling_s"] = round(sim.outcome_sampling_s, 4)
+        # Response-phase breakdown: how much of the drain ran through the
+        # cohort path and what it cost.
+        breakdown["response_cohorts"] = sim.response_cohorts
+        breakdown["response_batched_events"] = sim.response_batched_events
+        breakdown["response_batch_s"] = round(sim.response_batch_s, 4)
         cell["decision_profile"] = breakdown
     if checkpoint_interval is not None:
         cell["checkpoint_interval"] = checkpoint_interval
@@ -539,6 +552,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "metrics hash and event count must match the "
                              "batched run bit-for-bit (fatal otherwise).  "
                              "Implies --vectorized-compare")
+    parser.add_argument("--response-batch-compare", action="store_true",
+                        help="run a response-scalar (batched_response="
+                             "False) twin of every vectorized cell; "
+                             "decision hash, metrics hash and event count "
+                             "must match the cohort-drained run "
+                             "bit-for-bit (fatal otherwise).  Implies "
+                             "--vectorized-compare")
     parser.add_argument("--decision-profile", action="store_true",
                         help="add an instrumented vectorized cell per sweep "
                              "point with a per-phase breakdown of the "
@@ -573,10 +593,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.vectorized_compare = True
         args.checkpoint_compare = True
         args.assign_batch_compare = True
+        args.response_batch_compare = True
         if args.shard_counts == [1]:
             args.shard_counts = [1, 2]
-    if args.assign_batch_compare:
-        # The unbatched twin compares against the vectorized cell.
+    if args.assign_batch_compare or args.response_batch_compare:
+        # The unbatched twins compare against the vectorized cell.
         args.vectorized_compare = True
 
     policy_is_venn = args.policy.startswith("venn")
@@ -779,6 +800,71 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "decisions_identical": identical,
                     })
 
+            if args.response_batch_compare:
+                for shards in sorted(set(args.shard_counts)):
+                    vec_cell = by_combo.get(
+                        ("vectorized", maint_primary, shards)
+                    )
+                    if vec_cell is None:
+                        continue
+                    print(
+                        f"[cell] devices={n_dev} jobs={n_jobs} "
+                        f"path=vectorized-response-scalar "
+                        f"maintenance={maint_primary} shards={shards} ...",
+                        file=sys.stderr, flush=True,
+                    )
+                    rsp_cell = run_cell(
+                        n_dev, n_jobs, horizon, args.seed, args.policy,
+                        True, maint_primary, repeats=args.repeats,
+                        num_shards=shards, vectorized=True,
+                        batched_response=False,
+                    )
+                    cells.append(rsp_cell)
+                    identical = (
+                        rsp_cell["decision_hash"] == vec_cell["decision_hash"]
+                        and rsp_cell["metrics_hash"] == vec_cell["metrics_hash"]
+                        and rsp_cell["events"] == vec_cell["events"]
+                    )
+                    if not identical:
+                        # Fatal: the cohort-drained response path promises
+                        # bit-identical decisions AND metrics to the
+                        # per-event response handler.
+                        decision_mismatch = True
+                        print(
+                            f"[cell] devices={n_dev} jobs={n_jobs} "
+                            f"RESPONSE-BATCH IDENTITY DIVERGENCE at "
+                            f"num_shards={shards}: decisions "
+                            f"{rsp_cell['decision_hash'][:12]} vs "
+                            f"{vec_cell['decision_hash'][:12]}, metrics "
+                            f"{rsp_cell['metrics_hash'][:12]} vs "
+                            f"{vec_cell['metrics_hash'][:12]}, events "
+                            f"{rsp_cell['events']} vs {vec_cell['events']}",
+                            file=sys.stderr, flush=True,
+                        )
+                        _print_divergence(
+                            rsp_cell, vec_cell,
+                            label_a="response-scalar", label_b="batched",
+                        )
+                    ratio = (
+                        vec_cell["events_per_sec"]
+                        / max(rsp_cell["events_per_sec"], 1e-9)
+                    )
+                    print(
+                        f"[cell] devices={n_dev} jobs={n_jobs} "
+                        f"response batched/scalar(shards={shards}) = "
+                        f"{ratio:.2f}x over "
+                        f"{vec_cell.get('response_cohorts', 0)} cohorts "
+                        f"({vec_cell.get('response_batched_events', 0)} "
+                        f"batched events), identical: {identical}",
+                        file=sys.stderr, flush=True,
+                    )
+                    cells.append({
+                        "devices": n_dev, "jobs": n_jobs,
+                        "summary": "response-batch", "num_shards": shards,
+                        "events_per_sec_ratio": round(ratio, 3),
+                        "decisions_identical": identical,
+                    })
+
             if args.decision_profile:
                 print(
                     f"[cell] devices={n_dev} jobs={n_jobs} "
@@ -801,6 +887,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"outcome-sampling "
                     f"{breakdown.get('outcome_sampling_s', 0.0):.3f}s over "
                     f"{breakdown.get('batch_devices', 0)} batched consults",
+                    file=sys.stderr, flush=True,
+                )
+                print(
+                    f"[cell]   response phases: "
+                    f"{breakdown.get('response_cohorts', 0)} cohorts, "
+                    f"{breakdown.get('response_batched_events', 0)} batched "
+                    f"events, batch kernel "
+                    f"{breakdown.get('response_batch_s', 0.0):.3f}s",
                     file=sys.stderr, flush=True,
                 )
 

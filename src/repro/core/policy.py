@@ -70,6 +70,30 @@ class SchedulingPolicy(abc.ABC):
         Optional hook; the default implementation ignores it.
         """
 
+    def on_response_batch(
+        self, request: ResourceRequest, devices, now: float
+    ) -> None:
+        """A same-time batch of devices assigned to ``request`` reported back.
+
+        Called by the batched response path instead of per-event
+        :meth:`on_response` when a same-timestamp run of responses is
+        drained as one cohort.  ``devices`` holds the reporting devices'
+        profiles in the exact order the per-event loop would have delivered
+        them (response-sequence order within the request); the engine calls
+        this once per touched request, in first-occurrence order across the
+        cohort.  Implementations must leave the policy in *exactly* the
+        state per-event :meth:`on_response` calls would have — the scalar
+        path is the decision-hash oracle, and per-request grouping is only
+        sound because response bookkeeping for different requests commutes
+        (the batch contract; Venn's per-job matchers satisfy it).  The
+        default delegates to the scalar hook per device, and skips the loop
+        entirely for policies that never overrode it.
+        """
+        if type(self).on_response is SchedulingPolicy.on_response:
+            return
+        for device in devices:
+            self.on_response(request, device, now)
+
     def on_device_checkin(self, device: DeviceProfile, now: float) -> None:
         """A device became available (called before :meth:`assign`).
 

@@ -370,6 +370,28 @@ class VennScheduler(SeededRngMixin, BasePolicy):
             return
         matcher.record_participation(device, max(0.0, now - assigned_at))
 
+    def on_response_batch(self, request, devices, now: float) -> None:
+        """Record a response cohort into the job's matching profile.
+
+        One matcher lookup per request instead of per response; the
+        participations land in the matcher's history deques in the exact
+        order the per-event hook would have appended them (``devices`` is
+        in response order), so the resulting profile state — and every
+        tier decision derived from it — is bit-identical to the scalar
+        path.  Per-job matchers are disjoint objects, which is what makes
+        the engine's per-request grouping across a cohort sound.
+        """
+        matcher = self._matchers.get(request.job_id)
+        if matcher is None:
+            return
+        record = matcher.record_participation
+        assigned_ids = request.assigned_ids
+        for device in devices:
+            assigned_at = assigned_ids.get(device.device_id)
+            if assigned_at is None:
+                continue
+            record(device, max(0.0, now - assigned_at))
+
     # ------------------------------------------------------------------ #
     # Plan construction
     # ------------------------------------------------------------------ #

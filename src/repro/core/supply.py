@@ -235,8 +235,32 @@ class SupplyEstimator:
         )
 
     def rates(self, now: float) -> Dict[AtomSignature, float]:
-        """Arrival-rate estimate for every known atom."""
-        return {sig: self.rate(sig, now) for sig in self.observed_signatures()}
+        """Arrival-rate estimate for every known atom, in one pass.
+
+        Float-identical to calling :meth:`rate` per signature: the
+        observation span (and hence the prior-blend fill factor) depends
+        only on ``now`` — never on the signature — so it is computed once
+        and reused, and per-signature pruning is exactly the per-call
+        prune.  This is the supply read the batched response rail triggers
+        (a completed round re-opens demand and the next plan refresh
+        queries every atom), so it avoids re-deriving the span per atom.
+        """
+        span = self._effective_span(now)
+        fill = (
+            min(1.0, span / self.window) if self._total_checkins else 0.0
+        )
+        counts = self._counts
+        prior = self._prior
+        out: Dict[AtomSignature, float] = {}
+        for sig in self.observed_signatures():
+            self._prune(sig, now)
+            empirical = counts.get(sig, 0) / span
+            p = prior.get(sig)
+            if p is None:
+                out[sig] = empirical
+            else:
+                out[sig] = fill * empirical + (1.0 - fill) * p
+        return out
 
     def count_in_window(self, signature: AtomSignature, now: float) -> int:
         """Number of check-ins for ``signature`` inside the window.

@@ -190,6 +190,14 @@ class ResourceRequest:
     acquired_time: Optional[float] = None
     #: Time at which the request reached a terminal state.
     close_time: Optional[float] = None
+    #: Scheduled device responses that have not fired yet.  Incremented by
+    #: :meth:`record_assignment` (every assignment schedules exactly one
+    #: response event, success or failure) and decremented by the engine's
+    #: response handlers; a closed request with ``in_flight == 0`` can never
+    #: be looked up again, so the engine evicts it from its request table —
+    #: the fix for the unbounded ``Simulator._requests`` growth on
+    #: multi-day runs.
+    in_flight: int = 0
     #: Devices still needed to fully satisfy this request.  Maintained by
     #: :meth:`record_assignment` (always ``max(0, demand - len(assigned))``)
     #: instead of being recomputed per read: this is one of the hottest
@@ -226,6 +234,7 @@ class ResourceRequest:
         self.assigned.append(device_id)
         self.assigned_ids[device_id] = now
         self.assigned_times.append(now)
+        self.in_flight += 1
         self.remaining_demand = max(0, self.demand - len(self.assigned))
         if self.remaining_demand == 0:
             self.state = RequestState.COLLECTING
@@ -256,6 +265,7 @@ class ResourceRequest:
         for device_id in device_ids:
             assigned_ids[device_id] = now
         self.assigned_times.extend([now] * len(device_ids))
+        self.in_flight += len(device_ids)
         self.remaining_demand = max(0, self.demand - len(self.assigned))
         if self.remaining_demand == 0:
             self.state = RequestState.COLLECTING
@@ -266,6 +276,26 @@ class ResourceRequest:
         if device_id not in self.assigned_ids:
             raise ValueError(f"device {device_id} was never assigned to this request")
         self.responses[device_id] = now
+
+    def record_responses_bulk(self, device_ids: list, now: float) -> None:
+        """Bulk twin of :meth:`record_response` for a same-time cohort.
+
+        State-identical to calling :meth:`record_response` once per id in
+        order: the ``responses`` dict gains the same keys in the same
+        insertion order with the same timestamp, and the same invariant is
+        enforced once per batch — every reporting device must have been
+        assigned here (ids within a batch are unique by construction: a
+        device has at most one in-flight response per request).
+        """
+        assigned_ids = self.assigned_ids
+        for device_id in device_ids:
+            if device_id not in assigned_ids:
+                raise ValueError(
+                    f"device {device_id} was never assigned to this request"
+                )
+        responses = self.responses
+        for device_id in device_ids:
+            responses[device_id] = now
 
     @property
     def scheduling_delay(self) -> Optional[float]:

@@ -78,6 +78,14 @@ class RecordingPolicy:
     cleanly, and the records survive the round trip.  ``None`` decisions
     are not recorded (the digest stays comparable between dispatch paths
     that offer different — but decision-equivalent — device streams).
+
+    Only the *decision* entry points need explicit wrappers (below).  The
+    response-side hooks — ``on_response`` and the batched
+    ``on_response_batch`` — are deliberately left to ``__getattr__``
+    forwarding: they resolve to the inner policy's bound methods, so the
+    default batch hook's "policy never overrode ``on_response``" check
+    evaluates against the inner policy's type, exactly as if the wrapper
+    were not there.
     """
 
     def __init__(self, inner) -> None:

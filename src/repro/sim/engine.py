@@ -206,6 +206,16 @@ class SimulationConfig:
     #: engine consults it; scalar/sharded runs always use per-device
     #: consults.
     batched_assign: bool = True
+    #: Batched response path: same-timestamp runs of device responses on
+    #: one shard are drained as a cohort — one array pass for the device
+    #: state transitions, grouped per-request bookkeeping through the bulk
+    #: response hooks, completion checks deferred to the cohort's cut
+    #: points — instead of one handler call per event.  The per-event
+    #: handler stays the oracle; decisions and metrics are
+    #: **bit-identical** either way (enforced by the differential suite
+    #: and the benchmark's ``--response-batch-compare`` gate).  Only the
+    #: vectorized engine consults it.
+    batched_response: bool = True
     #: Record a per-phase wall-time breakdown of the batched decision path
     #: (candidate lookup / admission / bookkeeping on the policy, outcome
     #: sampling on the engine).  Adds clock reads to the hot loop — leave
@@ -408,12 +418,23 @@ class Simulator:
             and getattr(policy, "use_index", True)
             else None
         )
+        #: Batched response path (vectorized engine only): same-timestamp
+        #: response runs drain as cohorts (see ``_handle_response_cohort``).
+        self._batched_response = bool(self.config.batched_response)
         self._profile_decisions = bool(self.config.profile_decisions)
         if self._profile_decisions and hasattr(policy, "profile_decisions"):
             policy.profile_decisions = True
         #: Engine-side share of the decision profile: wall time spent in
         #: batched outcome draws (``--decision-profile``).
         self.outcome_sampling_s = 0.0
+        #: Response-phase breakdown (``--decision-profile``): cohorts
+        #: drained by the batched response path, events they covered, and
+        #: wall time spent in the batched prefix passes.  The counters are
+        #: maintained unconditionally (two integer adds per cohort); the
+        #: timer only runs under ``profile_decisions``.
+        self.response_cohorts = 0
+        self.response_batched_events = 0
+        self.response_batch_s = 0.0
         # The engine's own signature space: the workload's full requirement
         # set is known up front, so each device's eligibility signature is
         # computed once (lazily, at first check-in) and cached forever.
@@ -751,6 +772,7 @@ class Simulator:
             if self._vectorized
             else self._handle_shard_response
         )
+        cohort_responses = self._vectorized and self._batched_response
         heads = [sh.head_key() for sh in shards]
         dirty = self._dirty_shards
         q_key = queue.peek_key() or INF_KEY
@@ -799,9 +821,43 @@ class Simulator:
                     shard.heap
                 )
                 self.now = t
-                handle_response(shard, device_id, request_id, success)
-                self._events_processed += 1
-                shard.events_processed += 1
+                handled = 1
+                run = None
+                if cohort_responses and shard.heap and shard.heap[0][0] == t:
+                    # Same-timestamp response run on this shard: gather
+                    # every entry that is still globally next — strictly
+                    # before the coordinator queue, every other shard's
+                    # head and this shard's own next static event — and
+                    # drain the run as one cohort.  Anything scheduled
+                    # *during* the cohort carries a larger sequence number
+                    # and re-enters the merge loop normally.
+                    limit = q_key
+                    for i in range(num_shards):
+                        if i != best_i and heads[i] < limit:
+                            limit = heads[i]
+                    cur = shard.cursor
+                    if cur < shard.st_len:
+                        sk = (shard.st_time[cur], shard.st_seq[cur])
+                        if sk < limit:
+                            limit = sk
+                    sheap = shard.heap
+                    while (
+                        sheap
+                        and sheap[0][0] == t
+                        and (t, sheap[0][1]) < limit
+                    ):
+                        if run is None:
+                            run = [
+                                (t, _seq, device_id, request_id,
+                                 _job_id, success)
+                            ]
+                        run.append(heapq.heappop(sheap))
+                if run is not None:
+                    handled = self._handle_response_cohort(shard, run)
+                else:
+                    handle_response(shard, device_id, request_id, success)
+                self._events_processed += handled
+                shard.events_processed += handled
                 if self._events_processed >= self.config.max_events:
                     raise RuntimeError(
                         "simulation exceeded max_events; check for livelock "
@@ -940,6 +996,8 @@ class Simulator:
         shard-resident pools and counters)."""
         device = shard.runtimes[device_id]
         request = self._requests.get(request_id)
+        if request is not None:
+            request.in_flight -= 1
         device.finish_task(self.now, success)
         if device.is_idle:
             self._note_idle(device)
@@ -959,6 +1017,8 @@ class Simulator:
             # still computing; its work is discarded, so it keeps its daily
             # budget.
             self._refund_daily_budget(device)
+            if request.in_flight == 0:
+                self._evict_request(request)
 
         # A freed device may immediately serve another job (when the daily
         # limit permits and somebody actually wants devices).
@@ -1283,6 +1343,8 @@ class Simulator:
         slot = vec.slot_of[device_id]
         request = self._requests.get(request_id)
         now = self.now
+        if request is not None:
+            request.in_flight -= 1
         if success:
             vec.tasks_completed[slot] += 1
             shard.metrics.total_responses += 1
@@ -1303,6 +1365,8 @@ class Simulator:
         elif request is not None and not request.is_open:
             # Aborted round: the device keeps its daily budget.
             vec.last_day[slot] = -1
+            if request.in_flight == 0:
+                self._evict_request(request)
         if (
             sess_open
             and self._pending
@@ -1314,6 +1378,300 @@ class Simulator:
         ):
             self._try_assign_vec(slot)
             self._flush_assignments()
+
+    def _handle_response_cohort(self, shard: DeviceShard, run: list) -> int:
+        """Drain a same-timestamp run of responses as batched stretches.
+
+        Returns the number of entries actually consumed.  That is
+        ``len(run)`` except when a completion finishes the *last* job: the
+        merge loop stops right after such an event, so the unconsumed tail
+        is pushed back onto the shard heap (same keys, order preserved)
+        and left unprocessed — exactly like the per-event loop.
+
+        ``run`` holds the shard's popped heap entries, in sequence order —
+        the exact order the per-event loop would have handled them.  The
+        per-event handler interleaves four effects per response: the
+        device state transition, the request bookkeeping, the completion
+        check and the freed-device re-dispatch.  Within a stretch where no
+        response completes its request and none is a re-dispatch candidate,
+        those effects commute across responses (distinct devices, per-
+        request bookkeeping, provably no-op completion checks, no
+        dispatches), so the stretch collapses into one batched pass.  The
+        scan below finds the first *sequential point* — a response that
+        would complete its request (its success would lift the response
+        count to ``min_reports`` with demand already met) or would attempt
+        a re-dispatch (session still open, demand pending, daily budget
+        available after any refund) — batches the prefix before it, hands
+        the sequential response to the per-event oracle handler, and
+        repeats.  Classification runs against pre-stretch state, which the
+        commuting argument makes exact; a conservative misclassification
+        only shortens a stretch, never changes results.
+        """
+        vec = self._vec
+        slot_of = vec.slot_of
+        sess = vec.sess
+        last_day = vec.last_day
+        requests = self._requests
+        enforce_daily = self.config.enforce_daily_limit
+        t = run[0][0]
+        today = int(t // SECONDS_PER_DAY)
+        n = len(run)
+        self.response_cohorts += 1
+        i = 0
+        while i < n:
+            pending = bool(self._pending)
+            #: Successes counted per open request with met demand in this
+            #: stretch (completion classification is exact: demand cannot
+            #: change inside a stretch, so only the response count moves).
+            counts: dict = {}
+            hard = False
+            j = i
+            while j < n:
+                entry = run[j]
+                request = requests.get(entry[3])
+                slot = slot_of[entry[2]]
+                if entry[5] and request is not None and request.is_open:
+                    if request.remaining_demand == 0:
+                        c = counts.get(entry[3], 0) + 1
+                        if len(request.responses) + c >= request.min_reports:
+                            hard = True
+                            break  # completes its request
+                        counts[entry[3]] = c
+                    if (
+                        pending
+                        and t < sess[slot]
+                        and not (
+                            enforce_daily and last_day[slot] == today
+                        )
+                    ):
+                        # Re-dispatch candidate whose own bookkeeping
+                        # (``on_response``) interleaves with the consult:
+                        # only the per-event oracle preserves that order.
+                        hard = True
+                        break
+                elif (
+                    pending
+                    and t < sess[slot]
+                    and not (
+                        enforce_daily
+                        and request is not None
+                        and request.is_open
+                        and last_day[slot] == today
+                    )
+                ):
+                    # Re-dispatch candidate with no policy-visible
+                    # bookkeeping (failure, or a straggler of a closed
+                    # request — the refund restores its daily budget):
+                    # batchable through the cohort dispatch machinery.
+                    break
+                j += 1
+            if j > i:
+                if self._profile_decisions:
+                    t0 = time.perf_counter()
+                    self._apply_response_prefix(shard, run, i, j, t)
+                    self.response_batch_s += time.perf_counter() - t0
+                else:
+                    self._apply_response_prefix(shard, run, i, j, t)
+                self.response_batched_events += j - i
+            if j >= n:
+                i = j
+            elif hard:
+                entry = run[j]
+                self._handle_shard_response_vec(
+                    shard, entry[2], entry[3], entry[5]
+                )
+                i = j + 1
+                if self._unfinished_jobs == 0 and i < n:
+                    # The last job just finished; the run's tail stays
+                    # unprocessed, exactly as under the per-event loop.
+                    sheap = shard.heap
+                    for p in range(i, n):
+                        heapq.heappush(sheap, run[p])
+                    return i
+            else:
+                # A run of consecutive responses none of which touches the
+                # policy (failures and closed-request stragglers): batch
+                # their transitions/refunds in one pass, then offer the
+                # freed devices to the policy through the batched dispatch
+                # path — consult order is entry order, exactly the scalar
+                # loop's, and no bookkeeping interleaves by construction.
+                k = j + 1
+                while k < n:
+                    entry = run[k]
+                    request = requests.get(entry[3])
+                    if entry[5] and request is not None and request.is_open:
+                        break
+                    k += 1
+                if self._profile_decisions:
+                    t0 = time.perf_counter()
+                    self._apply_response_prefix(shard, run, j, k, t)
+                    self.response_batch_s += time.perf_counter() - t0
+                else:
+                    self._apply_response_prefix(shard, run, j, k, t)
+                self.response_batched_events += k - j
+                self._dispatch_response_freed(run, j, k, t, today)
+                i = k
+        return n
+
+    #: Below this stretch length the per-event status loop beats the numpy
+    #: gather/scatter (same trade-off as ``_FOLD_KERNEL_MIN``); the two
+    #: bodies replay the identical transition, so the cutoff affects only
+    #: wall time, never results.
+    _RESPONSE_KERNEL_MIN = 32
+
+    def _apply_response_prefix(
+        self, shard: DeviceShard, run: list, lo: int, hi: int, t: float
+    ) -> None:
+        """Batch one completion- and dispatch-free stretch of responses.
+
+        Replays exactly the per-event handler's effects for ``run[lo:hi]``:
+        one pass over the device arrays for the ``finish_task`` transitions
+        and counters, then one grouped pass per touched request for the
+        bookkeeping — ``record_responses_bulk`` plus the policy's
+        ``on_response_batch`` for successes on open requests (per-request
+        grouping in first-occurrence order; sound because response
+        bookkeeping commutes across requests), budget refunds and request
+        eviction for responses to closed requests.  The deferred
+        completion check runs once per touched request and is provably a
+        no-op (the cohort scan cuts at the first completing response); it
+        is kept as a cheap guard.  No response in the stretch is a
+        re-dispatch candidate, so the freed-device dispatch attempts are
+        skipped entirely — that is what the scan guaranteed.
+        """
+        vec = self._vec
+        slot_of = vec.slot_of
+        sess = vec.sess
+        status = vec.status
+        last_day = vec.last_day
+        tasks_completed = vec.tasks_completed
+        tasks_failed = vec.tasks_failed
+        requests = self._requests
+        profiles = vec.profiles
+        policy = self.policy
+        m = hi - lo
+        status_done = False
+        if m >= self._RESPONSE_KERNEL_MIN:
+            # One gather/scatter settles every status transition: devices
+            # are unique within a run (one in-flight response per device).
+            slots_arr = np.fromiter(
+                (slot_of[run[p][2]] for p in range(lo, hi)),
+                dtype=np.int64,
+                count=m,
+            )
+            status[slots_arr] = np.where(
+                sess[slots_arr] > t, STATUS_IDLE, STATUS_OFFLINE
+            )
+            status_done = True
+        n_ok = 0
+        n_fail = 0
+        #: request_id -> (request, [reporting device ids]) for successes on
+        #: open requests, in first-occurrence order, ids in response order.
+        recorded: dict = {}
+        for p in range(lo, hi):
+            entry = run[p]
+            device_id = entry[2]
+            slot = slot_of[device_id]
+            if not status_done:
+                status[slot] = (
+                    STATUS_IDLE if t < sess[slot] else STATUS_OFFLINE
+                )
+            if entry[5]:
+                tasks_completed[slot] += 1
+                n_ok += 1
+            else:
+                tasks_failed[slot] += 1
+                n_fail += 1
+            request = requests.get(entry[3])
+            if request is None:
+                continue
+            request.in_flight -= 1
+            if request.is_open:
+                if entry[5]:
+                    group = recorded.get(entry[3])
+                    if group is None:
+                        recorded[entry[3]] = group = (request, [])
+                    group[1].append(device_id)
+            else:
+                # Aborted round: the device keeps its daily budget.
+                last_day[slot] = -1
+                if request.in_flight == 0:
+                    self._evict_request(request)
+        shard.metrics.total_responses += n_ok
+        shard.metrics.total_failures += n_fail
+        for request, device_ids in recorded.values():
+            request.record_responses_bulk(device_ids, t)
+            policy.on_response_batch(
+                request,
+                [profiles[slot_of[d]] for d in device_ids],
+                t,
+            )
+            self._maybe_complete_request(request)
+
+    def _dispatch_response_freed(
+        self, run: list, lo: int, hi: int, t: float, today: int
+    ) -> None:
+        """Offer the devices freed by ``run[lo:hi]`` back to the policy.
+
+        The cohort scan guaranteed no response in the stretch touched the
+        policy, so the per-event loop's consult sequence is exactly "each
+        freed, still-dispatchable device in response order" — which is a
+        device cohort the batched decision path (PR 9's ``assign_batch``
+        with the engine commit callback) can serve.  The candidate filter
+        (still idle — i.e. session open, daily budget left after any
+        refund, signature eligible for a pending requirement) drops exactly
+        the devices whose scalar consult is a guaranteed no-op; unlike the
+        idle-pool sweep the queue keeps *response order*, not ascending
+        device id, because that is the scalar loop's offer order here.
+        Small cohorts stay on the scalar consult loop, same cutoff as the
+        sweep.
+        """
+        pending = self._pending
+        if not pending:
+            return
+        vec = self._vec
+        slot_of = vec.slot_of
+        sig_id = vec.sig_id
+        m = hi - lo
+        slots = np.fromiter(
+            (slot_of[run[p][2]] for p in range(lo, hi)),
+            dtype=np.int64,
+            count=m,
+        )
+        keep = vec.status[slots] == STATUS_IDLE
+        if self.config.enforce_daily_limit:
+            keep &= vec.last_day[slots] != today
+        version = pending.names_version
+        elig = vec.sig_eligibility(pending.pending_requirements())
+        keep &= elig[sig_id[slots]]
+        queue = slots[keep]
+        if not queue.size:
+            return
+        if self._batched_assign and queue.size > self._DRAIN_SCALAR_MAX:
+            self._dispatch_cohort_batched(queue, version)
+            self._flush_assignments()
+            return
+        status = vec.status
+        qlist = queue.tolist()
+        i = 0
+        n = len(qlist)
+        while i < n:
+            if not pending:
+                break
+            if pending.names_version != version:
+                version = pending.names_version
+                elig = vec.sig_eligibility(pending.pending_requirements())
+                queue = queue[i:]
+                queue = queue[elig[sig_id[queue]]]
+                qlist = queue.tolist()
+                n = len(qlist)
+                i = 0
+                continue
+            slot = qlist[i]
+            i += 1
+            if status[slot] != STATUS_IDLE:
+                continue
+            self._try_assign_vec(slot)
+        self._flush_assignments()
 
     def _try_assign_vec(self, slot: int) -> None:
         """Vectorized twin of :meth:`_try_assign`: same policy consultation
@@ -1790,6 +2148,8 @@ class Simulator:
         device = self.devices[event.device_id]
         success: bool = event.success
         request = self._requests.get(event.request_id)
+        if request is not None:
+            request.in_flight -= 1
         device.finish_task(self.now, success)
         if device.is_idle:
             self._note_idle(device)
@@ -1808,6 +2168,8 @@ class Simulator:
             # The round was aborted (or cancelled) while this device was still
             # computing; its work is discarded, so it keeps its daily budget.
             self._refund_daily_budget(device)
+            if request.in_flight == 0:
+                self._evict_request(request)
 
         # A freed device may immediately serve another job (when the daily
         # limit permits and some request has unmet demand — see the
@@ -1841,6 +2203,10 @@ class Simulator:
                 device = self.devices[device_id]
                 if device.status is not DeviceStatus.BUSY:
                     self._refund_daily_budget(device)
+        if request.in_flight == 0:
+            # No straggler responses outstanding: nothing will ever look the
+            # aborted request up again, so forget it now.
+            self._evict_request(request)
         # Retry the round immediately with a fresh request.
         self._open_request(job)
         self._dispatch_idle_devices()
@@ -1872,6 +2238,10 @@ class Simulator:
         self._pending.remove(request.job_id)
         self.policy.on_request_closed(request, self.now)
         finished = job.complete_round(self.now)
+        if request.in_flight == 0:
+            # Demand met means every assigned device responded or straggles;
+            # with no straggler in flight the request is unreachable.
+            self._evict_request(request)
         if self._round_callback is not None:
             # The request knows which round it was opened for; index by that
             # rather than by complete_round's cursor arithmetic.
@@ -1893,6 +2263,25 @@ class Simulator:
         else:
             self._open_request(job)
             self._dispatch_idle_devices()
+
+    def _evict_request(self, request: ResourceRequest) -> None:
+        """Forget a closed request whose last in-flight response has fired.
+
+        Closed requests used to accumulate in ``_requests`` (and in their
+        job's ``request_history``) for the whole run — unbounded growth on
+        multi-round workloads.  Once a request is closed *and* its
+        ``in_flight`` counter hits zero, no future event can reference it:
+        every response it scheduled has fired, its deadline event was popped
+        or cancelled, and policies were already told it closed.  Called from
+        the response handlers (straggler drained), the completion path and
+        the deadline abort; the ``request is None`` branches in the response
+        handlers are thereby unreachable for well-formed streams but kept as
+        a safety net.
+        """
+        self._requests.pop(request.request_id, None)
+        job = self.jobs.get(request.job_id)
+        if job is not None:
+            job.release_request(request)
 
     # ------------------------------------------------------------------ #
     # Assignment helpers

@@ -142,6 +142,25 @@ class JobRuntime:
             return True
         return False
 
+    def release_request(self, request: ResourceRequest) -> None:
+        """Drop one closed request from the history.
+
+        Called by the engine once the request's last in-flight response has
+        fired (nothing can reference it again); together with the engine's
+        request-table eviction this keeps multi-day runs from retaining
+        every request ever opened.  A job's requests open strictly one at a
+        time, so evictions arrive in near-FIFO order and the head check
+        settles the common case without a scan.
+        """
+        history = self.request_history
+        if history and history[0] is request:
+            del history[0]
+            return
+        for i, held in enumerate(history):
+            if held is request:
+                del history[i]
+                return
+
     def abort_round(self, now: float) -> None:
         """The current attempt missed its deadline; it will be retried."""
         request = self.open_request

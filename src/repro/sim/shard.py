@@ -205,6 +205,11 @@ class DeviceShard:
         self.cursor = 0
         #: Dynamic (response) min-heap of
         #: ``(time, seq, device_id, request_id, job_id, success)`` tuples.
+        #: Same-timestamp runs at the heap head are drained as *cohorts*
+        #: by the merge loop's batched response path (fault rewrites —
+        #: :meth:`kill_until`, :meth:`delay_responses_until` — pile
+        #: responses onto one timestamp, which is exactly the regime the
+        #: cohort drain targets); each entry still fires exactly once.
         self.heap: List[Tuple[float, int, int, int, int, bool]] = []
         self.runtimes = runtimes
         self.pool = IdleDevicePool()

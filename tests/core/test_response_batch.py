@@ -1,0 +1,307 @@
+"""Differential tests for the bulk response hooks.
+
+The scalar per-event response bookkeeping — ``request.record_response``
+followed by ``policy.on_response``, once per reporting device — is the
+oracle; the bulk rail the cohort path drives —
+``request.record_responses_bulk`` plus ``policy.on_response_batch``, once
+per touched request in first-response order — must leave byte-for-byte
+identical state behind for any cohort: mixed success/failure, entries
+aimed at aborted or already-evicted requests, and day-boundary
+timestamps.
+
+Three layers, mirroring ``tests/core/test_assign_batch.py``:
+
+* **Policy-level differential** — every registered policy, one mixed
+  scenario, pickled policy state and request state compared.
+* **Hypothesis differential** — random jobs, assignments and cohorts
+  through the Venn scheduler and sampled baselines.
+* **Protocol units** — ``record_responses_bulk`` validation and the
+  default ``on_response_batch`` fallback's skip/loop behaviour
+  (including through a ``RecordingPolicy`` wrapper).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import POLICY_NAMES
+from repro.core.policy import BasePolicy
+from repro.core.requirements import GENERAL
+from repro.core.types import RequestState
+from repro.resilience import RecordingPolicy
+from tests.conftest import make_device, make_job
+from tests.core.test_assign_batch import (
+    CATEGORIES,
+    build_policy,
+    diverse_devices,
+    make_request,
+)
+
+#: Timestamps around the daily-limit rollover — the regime the engine's
+#: cohort path special-cases (refunds flip ``last_day``); at the hook
+#: level they exercise large / zero / boundary RTTs.
+DAY_BOUNDARY_TIMES = [10.0, 86_399.5, 86_400.0, 172_800.25]
+
+
+# --------------------------------------------------------------------- #
+# Replays: the two rails the engine drives
+# --------------------------------------------------------------------- #
+def replay_scalar(policy, cohort, now):
+    """Oracle: per-event bookkeeping in cohort order, exactly like the
+    per-event response handler (failures and closed/evicted requests
+    never reach the policy)."""
+    for request, device, success in cohort:
+        if success and request is not None and request.is_open:
+            request.record_response(device.device_id, now)
+            policy.on_response(request, device, now)
+
+
+def replay_bulk(policy, cohort, now):
+    """The cohort rail: group policy-visible responses per request in
+    first-occurrence order, then one bulk record + one batch hook per
+    request — the grouping ``_apply_response_prefix`` performs."""
+    grouped = {}
+    for request, device, success in cohort:
+        if success and request is not None and request.is_open:
+            grouped.setdefault(id(request), (request, []))[1].append(device)
+    for request, devices in grouped.values():
+        request.record_responses_bulk(
+            [device.device_id for device in devices], now
+        )
+        policy.on_response_batch(request, devices, now)
+
+
+def build_cohort(requests, devices, entries):
+    """Materialise ``(request_index | None, device_index, success)`` triples
+    against one run's fresh request instances."""
+    cohort = []
+    for request_index, device_index, success in entries:
+        request = (
+            None if request_index is None else requests[request_index]
+        )
+        cohort.append((request, devices[device_index], success))
+    return cohort
+
+
+def assert_identical(name, jobs, devices, prepare, entries, now):
+    """Run both rails on independently built twins and compare state."""
+    states = {}
+    for rail, replay in (("scalar", replay_scalar), ("bulk", replay_bulk)):
+        policy, requests = build_policy(name, jobs, checkins=devices)
+        prepare(policy, requests)
+        replay(policy, build_cohort(requests, devices, entries), now)
+        states[rail] = (
+            pickle.dumps(policy),
+            [
+                (
+                    request.state,
+                    list(request.responses.items()),
+                    request.assigned,
+                )
+                for request in requests
+            ],
+        )
+    assert states["bulk"][1] == states["scalar"][1]
+    assert states["bulk"][0] == states["scalar"][0]
+
+
+# --------------------------------------------------------------------- #
+# Every registered policy: bulk rail == scalar oracle
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("name", POLICY_NAMES)
+@pytest.mark.parametrize("now", DAY_BOUNDARY_TIMES)
+def test_bulk_hooks_match_scalar_for_every_policy(name, now):
+    jobs = [
+        make_job(1, GENERAL, demand=4),
+        make_job(2, GENERAL, demand=3),
+        make_job(3, GENERAL, demand=2),
+    ]
+    devices = diverse_devices(10)
+
+    def prepare(policy, requests):
+        # Job 1 and 2 collected assignments; job 3 aborted mid-collection.
+        for device_index in (0, 1, 2, 3):
+            requests[0].record_assignment(devices[device_index].device_id, 1.0)
+        for device_index in (4, 5):
+            requests[1].record_assignment(devices[device_index].device_id, 2.0)
+        requests[2].record_assignment(devices[6].device_id, 3.0)
+        requests[2].state = RequestState.ABORTED
+        policy.on_request_closed(requests[2], 5.0)
+
+    # Interleaved successes across two open requests, failures, a straggler
+    # of the aborted request and an entry whose request was already evicted.
+    entries = [
+        (0, 0, True),
+        (1, 4, True),
+        (0, 1, False),
+        (2, 6, True),      # aborted request: skipped by both rails
+        (0, 2, True),
+        (None, 7, True),   # evicted request: skipped by both rails
+        (1, 5, True),
+        (0, 3, True),
+    ]
+    assert_identical(name, jobs, devices, prepare, entries, now)
+
+
+# --------------------------------------------------------------------- #
+# Hypothesis differential: random assignments and cohorts
+# --------------------------------------------------------------------- #
+@st.composite
+def response_scenario(draw):
+    num_jobs = draw(st.integers(min_value=1, max_value=4))
+    jobs = []
+    for job_id in range(1, num_jobs + 1):
+        requirement = draw(st.sampled_from(CATEGORIES))
+        demand = draw(st.integers(min_value=1, max_value=8))
+        jobs.append(make_job(job_id, requirement, demand=demand))
+    num_devices = draw(st.integers(min_value=1, max_value=24))
+    devices = diverse_devices(num_devices)
+    # Per job: which devices were assigned (capped by demand), and whether
+    # the request aborted before the cohort landed.
+    assigned, aborted = [], []
+    for job in jobs:
+        ids = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_devices - 1),
+                unique=True,
+                max_size=job.demand_per_round,
+            )
+        )
+        assigned.append(ids)
+        aborted.append(draw(st.booleans()))
+    # The cohort: unique (request, device) pairs drawn from the assigned
+    # sets (one in-flight response per device per request), plus entries
+    # for an evicted request, in random interleaved order.
+    pool = [
+        (job_index, device_index)
+        for job_index, ids in enumerate(assigned)
+        for device_index in ids
+    ]
+    picks = draw(
+        st.lists(
+            st.sampled_from(pool) if pool else st.nothing(),
+            unique=True,
+            max_size=len(pool),
+        )
+    )
+    entries = [
+        (job_index, device_index, draw(st.booleans()))
+        for job_index, device_index in picks
+    ]
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        entries.append(
+            (None, draw(st.integers(0, num_devices - 1)), True)
+        )
+    entries = draw(st.permutations(entries))
+    now = draw(st.sampled_from(DAY_BOUNDARY_TIMES))
+    return jobs, devices, assigned, aborted, entries, now
+
+
+def run_random_scenario(name, scene):
+    jobs, devices, assigned, aborted, entries, now = scene
+
+    def prepare(policy, requests):
+        for request, ids, closed in zip(requests, assigned, aborted):
+            for device_index in ids:
+                request.record_assignment(devices[device_index].device_id, 1.0)
+            if closed:
+                request.state = RequestState.ABORTED
+                policy.on_request_closed(request, 5.0)
+
+    assert_identical(name, jobs, devices, prepare, entries, now)
+
+
+@given(response_scenario())
+@settings(max_examples=60, deadline=None)
+def test_hypothesis_bulk_matches_scalar_venn(scene):
+    run_random_scenario("venn", scene)
+
+
+@given(
+    st.sampled_from(
+        ["random", "uniform_random", "client_driven_random", "fifo", "srsf"]
+    ),
+    response_scenario(),
+)
+@settings(max_examples=30, deadline=None)
+def test_hypothesis_bulk_matches_scalar_for_baselines(name, scene):
+    run_random_scenario(name, scene)
+
+
+# --------------------------------------------------------------------- #
+# Default fallback behaviour
+# --------------------------------------------------------------------- #
+class _CountingPolicy(BasePolicy):
+    """A policy that overrides ``on_response`` but not the batch hook: the
+    default ``on_response_batch`` must loop the override per device, in
+    order."""
+
+    name = "counting"
+
+    def __init__(self):
+        super().__init__()
+        self.seen = []
+
+    def assign(self, device, now):
+        return None
+
+    def on_response(self, request, device, now):
+        self.seen.append((request.request_id, device.device_id, now))
+
+
+def test_default_batch_hook_loops_overridden_on_response():
+    policy = _CountingPolicy()
+    request = make_request(4)
+    devices = [make_device(device_id=i) for i in (3, 1, 2)]
+    policy.on_response_batch(request, devices, 7.0)
+    assert policy.seen == [(1, 3, 7.0), (1, 1, 7.0), (1, 2, 7.0)]
+
+
+def test_default_batch_hook_skips_without_override():
+    """No override means the loop is skipped entirely — the engine's bulk
+    rail must not pay a per-device python call for no-op policies."""
+    policy, _ = build_policy("fifo", [make_job(1, GENERAL, demand=2)])
+    assert type(policy).on_response.__qualname__.startswith(
+        "SchedulingPolicy."
+    )
+    policy.on_response_batch(make_request(2), [make_device(device_id=1)], 3.0)
+
+
+def test_recording_wrapper_preserves_batch_dispatch():
+    """``RecordingPolicy`` forwards the response hooks via ``__getattr__``,
+    so the override check evaluates against the *inner* policy's type."""
+    inner = _CountingPolicy()
+    wrapper = RecordingPolicy(inner)
+    request = make_request(3)
+    wrapper.on_response_batch(
+        request, [make_device(device_id=5), make_device(device_id=6)], 9.0
+    )
+    assert inner.seen == [(1, 5, 9.0), (1, 6, 9.0)]
+
+
+# --------------------------------------------------------------------- #
+# record_responses_bulk protocol units
+# --------------------------------------------------------------------- #
+def test_bulk_record_matches_sequential_responses():
+    seq = make_request(4)
+    bulk = make_request(4)
+    for request in (seq, bulk):
+        request.record_assignments_bulk([10, 11, 12], 2.0)
+    for device_id in (11, 10):
+        seq.record_response(device_id, 6.0)
+    bulk.record_responses_bulk([11, 10], 6.0)
+    assert list(bulk.responses.items()) == list(seq.responses.items())
+
+
+def test_bulk_record_rejects_unassigned_device():
+    request = make_request(3)
+    request.record_assignment(10, 2.0)
+    with pytest.raises(ValueError):
+        request.record_responses_bulk([10, 99], 6.0)
+    # The failed batch must not have recorded a partial prefix.
+    assert request.responses == {}

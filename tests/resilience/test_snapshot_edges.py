@@ -165,6 +165,67 @@ class TestDayRollover:
         assert min(times) < DAY < max(times)
 
 
+class TestCancelledDeadlineEvents:
+    """Completion-then-checkpoint ordering: completing a round pops the
+    request's entry from ``_deadline_events`` and cancels the Event *in
+    place* — the tombstone stays in the queue heap until lazily purged.  A
+    checkpoint taken in that window must round-trip both sides
+    consistently: live deadline events keep their dict/heap identity (the
+    pickle memo), and cancelled tombstones stay out of the dict."""
+
+    def _boundary_after_first_completion(self):
+        probe = build_sim()
+        completions = []
+        probe._round_callback = lambda rc: completions.append(
+            probe.events_processed
+        )
+        probe.run()
+        assert completions, "scenario must complete at least one round"
+        return completions[0]
+
+    def test_checkpoint_right_after_completion_round_trips(self):
+        at_event = self._boundary_after_first_completion()
+        # checkpoint_every=1 pins the snapshot to the crash boundary: the
+        # cancelled deadline event (future-dated, so not yet lazily popped)
+        # is inside the pickled heap.
+        reference, ref_metrics, resumed, res_metrics = crash_resume(
+            build_sim, at_event=at_event + 1, checkpoint_every=1
+        )
+        assert resumed.policy.decisions == reference.policy.decisions
+        assert metrics_digest(res_metrics) == metrics_digest(ref_metrics)
+
+    def test_resumed_heap_and_deadline_map_stay_consistent(self):
+        at_event = self._boundary_after_first_completion()
+        store = LatestSnapshotStore()
+        crashed = build_sim(
+            fault_plan=FaultPlan.crash_at(at_event + 1),
+            checkpoint_interval=1,
+            checkpoint_sink=store,
+        )
+        with pytest.raises(SimulatedCrash):
+            crashed.run()
+        resumed = Simulator.resume(store.latest, fault_plan=None)
+        heap_events = [entry[2] for entry in resumed.queue._heap]
+        # The completed round's cancelled deadline survived the round trip
+        # as a tombstone in the heap...
+        assert any(
+            ev.cancelled and ev.request_id is not None for ev in heap_events
+        )
+        # ...while every live entry of the deadline map is the *same
+        # object* as its heap-resident event (cancel() after resume must
+        # still reach the heap copy) and none is cancelled.
+        assert resumed._deadline_events
+        for ev in resumed._deadline_events.values():
+            assert not ev.cancelled
+            assert any(held is ev for held in heap_events)
+        # The resumed run still matches its uninterrupted twin.
+        reference = build_sim()
+        ref_metrics = reference.run()
+        res_metrics = resumed.run()
+        assert resumed.policy.decisions == reference.policy.decisions
+        assert metrics_digest(res_metrics) == metrics_digest(ref_metrics)
+
+
 class TestMergedMetrics:
     def test_sharded_metrics_nan_free_and_digest_stable(self):
         sim = build_sim(num_shards=2)
